@@ -1,0 +1,129 @@
+"""E11 — the property-testing side: GGR ρ-clique tester and tolerant testing.
+
+Workload: graphs with a planted dense ρn-set (accept side) versus sparse
+random graphs with no dense ρn-set (reject side).
+
+Measured: acceptance rates on both sides for the GGR-style tester and for
+the tolerant (ε₁, ε₂) near-clique tester, plus query counts compared with
+the total number of vertex pairs (the tester must probe a vanishing
+fraction) — reproducing the Section 1 discussion that the paper's
+construction is (ε³, ε)-tolerant while the plain tester is (ε⁶, ε)-tolerant.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import stats, tables
+from repro.graphs import generators
+from repro.proptest.ggr_tester import GGRCliqueTester
+from repro.proptest.tolerant import (
+    TolerantNearCliqueTester,
+    ggr_tolerance_of,
+    paper_tolerance_of,
+)
+
+
+RHO = 0.45
+EPSILON = 0.3
+N = 90
+TRIALS = 12
+
+
+def _accept_rates(tester_factory, accept_graph, reject_graph, trials=TRIALS):
+    accepts = []
+    rejects = []
+    queries = []
+    for seed in range(trials):
+        tester = tester_factory(seed)
+        verdict_a = tester.test(accept_graph)
+        verdict_r = tester.test(reject_graph)
+        accepts.append(verdict_a.accepted)
+        rejects.append(not verdict_r.accepted)
+        queries.append(verdict_a.queries)
+    return stats.success_rate(accepts), stats.success_rate(rejects), stats.mean(queries)
+
+
+def bench_e11_property_testers(benchmark):
+    accept_graph, _ = generators.planted_near_clique(
+        N, RHO, EPSILON ** 3, background_p=0.05, seed=3
+    )
+    reject_graph = generators.erdos_renyi(N, 0.08, seed=4)
+    total_pairs = N * (N - 1) / 2.0
+
+    ggr_accept, ggr_reject, ggr_queries = _accept_rates(
+        lambda seed: GGRCliqueTester(rho=RHO, epsilon=EPSILON, rng=random.Random(seed)),
+        accept_graph,
+        reject_graph,
+    )
+    tol_accept, tol_reject, tol_queries = _accept_rates(
+        lambda seed: TolerantNearCliqueTester(
+            rho=RHO,
+            epsilon_1=paper_tolerance_of(EPSILON)[0],
+            epsilon_2=EPSILON,
+            rng=random.Random(seed),
+        ),
+        accept_graph,
+        reject_graph,
+    )
+
+    rows = [
+        [
+            "GGR rho-clique tester",
+            "(%.4f, %.2f)" % ggr_tolerance_of(EPSILON),
+            ggr_accept.rate,
+            ggr_reject.rate,
+            ggr_queries,
+            round(ggr_queries / total_pairs, 3),
+        ],
+        [
+            "Tolerant K/T tester (paper)",
+            "(%.4f, %.2f)" % paper_tolerance_of(EPSILON),
+            tol_accept.rate,
+            tol_reject.rate,
+            tol_queries,
+            round(tol_queries / total_pairs, 3),
+        ],
+    ]
+    tables.print_table(
+        [
+            "tester",
+            "tolerance (eps1, eps2)",
+            "accept rate (planted)",
+            "reject rate (null)",
+            "mean queries",
+            "queries / all pairs",
+        ],
+        rows,
+        title="E11  Property testers: gap behaviour and query counts (rho=%.2f, eps=%.2f)"
+        % (RHO, EPSILON),
+    )
+
+    assert ggr_accept.rate >= 0.6 and ggr_reject.rate >= 0.8
+    assert tol_accept.rate >= 0.7 and tol_reject.rate >= 0.8
+
+    benchmark(
+        lambda: GGRCliqueTester(rho=RHO, epsilon=EPSILON, rng=random.Random(1)).test(
+            accept_graph
+        )
+    )
+
+
+def bench_e11_approximate_find(benchmark):
+    """The approximate-find companion: extract the near-clique after acceptance."""
+    graph, planted = generators.planted_near_clique(
+        N, RHO, EPSILON ** 3, background_p=0.05, seed=9
+    )
+    tester = GGRCliqueTester(rho=RHO, epsilon=0.25, rng=random.Random(5))
+    verdict = tester.test_with_confidence(graph, repetitions=3)
+    found = tester.approximate_find(graph, sorted(verdict.witness_subset))
+    recall = len(found.members & planted.members) / float(len(planted.members))
+    tables.print_table(
+        ["accepted", "found size", "found density", "recall of planted", "queries"],
+        [[verdict.accepted, len(found.members), found.density, recall, found.queries]],
+        title="E11b  Approximate find from an accepting witness",
+    )
+    assert verdict.accepted
+    assert recall >= 0.6
+
+    benchmark(lambda: tester.approximate_find(graph, sorted(verdict.witness_subset)))

@@ -1,0 +1,65 @@
+"""E2 — Corollary 2.2: linear-size near-cliques are found in O(1) rounds.
+
+Workload: planted near-clique with δ = 0.5 held constant while n grows; the
+sampling probability is scaled as p = c/n so the expected sample (and hence
+the round complexity, which depends only on |S|) stays constant.
+
+Paper prediction: the measured round count does not grow with n, and every
+message stays within O(log n) bits.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import experiment, stats, tables, theory
+
+
+N_SWEEP = [40, 60, 80, 110, 140]
+EXPECTED_SAMPLE = 6.0
+TRIALS = 4
+
+
+def _run(n, trials=TRIALS, seed=5):
+    return experiment.run_planted_trials(
+        n=n,
+        epsilon=0.2,
+        delta=0.5,
+        trials=trials,
+        seed=seed,
+        engine="distributed",
+        expected_sample=EXPECTED_SAMPLE,
+        max_sample_size=12,
+    )
+
+
+def bench_e2_constant_rounds(benchmark):
+    rows = []
+    mean_rounds = []
+    for n in N_SWEEP:
+        aggregate = _run(n)
+        mean_rounds.append(aggregate.mean_of("rounds"))
+        rows.append(
+            [
+                n,
+                aggregate.trials,
+                aggregate.mean_of("sample_size"),
+                aggregate.mean_of("rounds"),
+                aggregate.quantile_of("rounds", 1.0),
+                theory.corollary_2_2_round_prediction(0.2, 0.5, EXPECTED_SAMPLE),
+                aggregate.mean_of("recall"),
+            ]
+        )
+    tables.print_table(
+        ["n", "trials", "mean |S|", "mean rounds", "max rounds", "2^(2pn) bound", "recall"],
+        rows,
+        title="E2  Corollary 2.2: rounds vs n with delta constant and p*n constant",
+    )
+
+    # Shape check: rounds do not systematically grow with n.  The regression
+    # slope of mean rounds against n should be tiny compared with the mean.
+    slope = stats.linear_regression_slope([float(n) for n in N_SWEEP], mean_rounds)
+    overall = stats.mean(mean_rounds)
+    assert abs(slope) * (N_SWEEP[-1] - N_SWEEP[0]) <= max(60.0, 1.2 * overall), (
+        "round count appears to grow with n: slope %.3f, mean %.1f" % (slope, overall)
+    )
+
+    benchmark(lambda: _run(60, trials=1, seed=2))

@@ -1,0 +1,23 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_e*.py`` module reproduces one experiment from the DESIGN.md
+experiment index (one per theorem / corollary / claim / figure of the
+paper).  Every benchmark prints the table recorded in EXPERIMENTS.md and
+additionally times one representative kernel through pytest-benchmark, so
+
+    pytest benchmarks/ --benchmark-only
+
+regenerates both the quality tables and the timing figures.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def bench_rng():
+    """Deterministic randomness for benchmark workloads."""
+    return random.Random(20090526)  # the paper's arXiv submission date

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Discovering tightly-knit web communities (the paper's motivating scenario).
+
+The introduction of the paper motivates near-clique discovery with web-graph
+analysis: search-engine rankings are distorted by "tightly knit communities"
+(link farms, burst events in blog graphs), which are essentially dense
+subgraphs.  This example builds a synthetic web graph with several hidden
+communities of different sizes, runs the boosted near-clique finder, and
+shows that the algorithm returns a *collection* of disjoint communities — the
+paper's output convention — rather than a single cluster.
+
+It also contrasts the result with the shingles heuristic (the natural
+min-hash style labelling used for syntactic clustering of the web), which on
+graphs with hub structure dilutes communities badly.
+
+Run with:  python examples/web_communities.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import BoostedNearCliqueRunner, density, generators
+from repro.analysis import tables
+from repro.baselines.shingles import shingles_run
+
+
+def community_recall(clusters, community):
+    """Best recall of one planted community over all output clusters."""
+    if not clusters:
+        return 0.0
+    return max(len(c & community) / float(len(community)) for c in clusters)
+
+
+def main() -> None:
+    n = 150
+    seed = 7
+    graph, communities = generators.web_community_graph(
+        n=n,
+        communities=3,
+        community_fraction=0.18,
+        intra_defect=0.05,
+        background_p=0.005,
+        seed=seed,
+    )
+    print(
+        "Synthetic web graph: %d pages, %d links, %d planted communities"
+        % (graph.number_of_nodes(), graph.number_of_edges(), len(communities))
+    )
+    for index, community in enumerate(communities):
+        print(
+            "  community %d: %d pages, defect %.3f"
+            % (index, community.size, 1.0 - density(graph, community.members))
+        )
+
+    # The boosted runner amplifies the constant success probability of a
+    # single run; lambda = 5 repetitions pushes the failure rate well below
+    # the single-run level (Section 4.1).
+    runner = BoostedNearCliqueRunner(
+        epsilon=0.2,
+        sample_probability=9.0 / n,
+        repetitions=6,
+        min_output_size=5,
+        rng=random.Random(seed),
+    )
+    result = runner.run(graph)
+    clusters = list(result.clusters.values())
+
+    shingle_result = shingles_run(graph, rng=random.Random(seed))
+    shingle_sets = [c.members for c in shingle_result.candidates if c.size >= 5]
+
+    rows = []
+    for index, community in enumerate(communities):
+        rows.append(
+            [
+                index,
+                community.size,
+                community_recall(clusters, community.members),
+                community_recall(shingle_sets, community.members),
+            ]
+        )
+    tables.print_table(
+        ["community", "size", "DistNearClique recall", "shingles recall"],
+        rows,
+        title="Recovered web communities (boosted DistNearClique vs shingles)",
+    )
+
+    print()
+    print("DistNearClique output clusters:")
+    for label, members in sorted(result.clusters.items(), key=lambda kv: -len(kv[1])):
+        print(
+            "  label %-4s size %3d density %.3f"
+            % (label, len(members), density(graph, members))
+        )
+    best_shingle = shingle_result.best_candidate()
+    if best_shingle is not None:
+        print(
+            "Largest shingles candidate: size %d, density %.3f "
+            "(diluted by hub pages — compare Claim 1)"
+            % (best_shingle.size, best_shingle.density)
+        )
+    print(
+        "\nNote: communities whose audiences touch a larger community's "
+        "audience are suppressed by the decision stage's acknowledge/abort "
+        "vote — the algorithm only guarantees that at least one large "
+        "near-clique survives, exactly as in the paper."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Theory bounds, statistics helpers and the experiment harness.
+
+* :mod:`repro.analysis.theory` — the paper's quantitative statements
+  (Theorem 5.7, Corollaries 2.2 / 2.3, Lemmas 5.1–5.4, the boosting factor)
+  as executable bound calculators, so experiments can print "measured vs
+  paper" side by side.
+* :mod:`repro.analysis.stats` — means, standard deviations and Wilson
+  confidence intervals for success-probability estimates.
+* :mod:`repro.analysis.experiment` — trial runners and parameter sweeps
+  shared by every benchmark.
+* :mod:`repro.analysis.tables` — plain-text table rendering for benchmark
+  output and EXPERIMENTS.md.
+"""
+
+from repro.analysis import experiment, stats, tables, theory
+
+__all__ = ["theory", "stats", "experiment", "tables"]

@@ -1,0 +1,281 @@
+"""Trial runners and parameter sweeps shared by the benchmarks.
+
+The experiments listed in DESIGN.md all follow the same pattern: generate a
+workload with a planted dense set, run one of the near-clique finders a
+number of times, and aggregate quality / complexity measurements.  This
+module provides that plumbing once so that each benchmark file only contains
+the experiment-specific sweep and the table it prints.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.analysis import stats
+from repro.core import near_clique
+from repro.core.boosting import BoostedNearCliqueRunner
+from repro.core.dist_near_clique import DistNearCliqueRunner
+from repro.core.params import AlgorithmParameters
+from repro.core.reference import CentralizedNearCliqueFinder
+from repro.core.result import NearCliqueResult
+from repro.graphs import generators
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Measurements from one algorithm execution on one workload."""
+
+    success: bool
+    recall: float
+    output_size: int
+    output_defect: float
+    sample_size: int
+    aborted: bool
+    rounds: int = 0
+    max_message_bits: int = 0
+    total_messages: int = 0
+
+
+@dataclass
+class TrialAggregate:
+    """Aggregated view of a list of :class:`TrialOutcome`."""
+
+    outcomes: List[TrialOutcome] = field(default_factory=list)
+
+    @property
+    def trials(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def success(self) -> stats.SuccessRate:
+        return stats.success_rate(o.success for o in self.outcomes)
+
+    @property
+    def abort_rate(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return stats.mean([1.0 if o.aborted else 0.0 for o in self.outcomes])
+
+    def mean_of(self, attribute: str) -> float:
+        return stats.mean([float(getattr(o, attribute)) for o in self.outcomes])
+
+    def max_of(self, attribute: str) -> float:
+        if not self.outcomes:
+            return 0.0
+        return max(float(getattr(o, attribute)) for o in self.outcomes)
+
+    def quantile_of(self, attribute: str, q: float) -> float:
+        return stats.quantile(
+            [float(getattr(o, attribute)) for o in self.outcomes], q
+        )
+
+
+def theorem_success(
+    result: NearCliqueResult,
+    graph: nx.Graph,
+    planted: Iterable[int],
+    delta: float,
+) -> bool:
+    """The success criterion used by the Theorem 5.7 experiments.
+
+    The theorem's own bounds are used whenever they are non-vacuous:
+
+    * size: ``|D'| ≥ (1 − 13ε/2)·|D| − ε⁻²``;
+    * defect: ``defect(D') ≤ (ε/δ)/(1 − 13ε/2)`` (or the footnote's ``2ε/δ``
+      when that is smaller than the clipped bound).
+
+    For parameter points where the size bound is non-positive (small |D| or
+    ε ≥ 2/13) the criterion falls back to the qualitative reading of the
+    theorem: the algorithm recovered at least half of the planted set and
+    the output's defect does not exceed ``2ε/δ``.
+    """
+    planted_set = set(planted)
+    epsilon = result.epsilon
+    members = result.largest_cluster()
+    defect = near_clique.near_clique_defect(graph, members)
+
+    size_bound = near_clique.theorem_5_7_size_lower_bound(len(planted_set), epsilon)
+    defect_bound = near_clique.theorem_5_7_defect_bound(epsilon, delta)
+    fallback_defect_bound = min(1.0, 2.0 * epsilon / delta)
+
+    if size_bound > 0:
+        return len(members) >= size_bound and defect <= max(
+            defect_bound, fallback_defect_bound
+        ) + 1e-9
+    recall = len(members & planted_set) / float(max(1, len(planted_set)))
+    return recall >= 0.5 and defect <= fallback_defect_bound + 1e-9
+
+
+def _outcome_from_result(
+    result: NearCliqueResult,
+    graph: nx.Graph,
+    planted: Iterable[int],
+    delta: float,
+    success_fn: Optional[Callable[[NearCliqueResult, nx.Graph, Iterable[int], float], bool]],
+) -> TrialOutcome:
+    planted_set = set(planted)
+    members = result.largest_cluster()
+    recall = (
+        len(members & planted_set) / float(len(planted_set)) if planted_set else 1.0
+    )
+    criterion = success_fn or theorem_success
+    metrics = result.metrics
+    return TrialOutcome(
+        success=bool(criterion(result, graph, planted_set, delta)),
+        recall=recall,
+        output_size=len(members),
+        output_defect=near_clique.near_clique_defect(graph, members),
+        sample_size=len(result.sample),
+        aborted=result.aborted,
+        rounds=metrics.rounds if metrics else 0,
+        max_message_bits=metrics.max_message_bits if metrics else 0,
+        total_messages=metrics.total_messages if metrics else 0,
+    )
+
+
+def run_planted_trials(
+    n: int,
+    epsilon: float,
+    delta: float,
+    trials: int,
+    seed: int = 0,
+    engine: str = "centralized",
+    background_p: float = 0.05,
+    planted_defect: Optional[float] = None,
+    sample_probability: Optional[float] = None,
+    expected_sample: float = 9.0,
+    max_sample_size: int = 14,
+    min_output_size: int = 0,
+    boosting_repetitions: Optional[int] = None,
+    success_fn: Optional[Callable] = None,
+    regenerate_graph: bool = True,
+) -> TrialAggregate:
+    """Run the standard planted-near-clique experiment.
+
+    A fresh workload with an ε³-near clique of size δn (defect overridable
+    via *planted_defect*) is generated for every trial (or once, when
+    *regenerate_graph* is False), and the selected engine is executed on it.
+
+    Parameters
+    ----------
+    engine:
+        ``"centralized"`` — the oracle (fast, exact same computation);
+        ``"distributed"`` — the CONGEST simulation (also yields round and
+        message measurements); ``"boosted"`` — the Section 4.1 wrapper with
+        *boosting_repetitions* repetitions (centralized engine inside).
+    sample_probability:
+        Explicit p; when omitted, p is chosen so that the expected sample is
+        *expected_sample* nodes (the Theorem 2.1 formula with its constant
+        scaled down to stay simulable — see EXPERIMENTS.md).
+    """
+    if engine not in ("centralized", "distributed", "boosted"):
+        raise ValueError("unknown engine %r" % engine)
+    rng = random.Random(seed)
+    defect = planted_defect if planted_defect is not None else epsilon ** 3
+    p = (
+        sample_probability
+        if sample_probability is not None
+        else min(1.0, expected_sample / float(n))
+    )
+    parameters = AlgorithmParameters(
+        epsilon=epsilon,
+        sample_probability=p,
+        max_sample_size=max_sample_size,
+        min_output_size=min_output_size,
+    )
+
+    aggregate = TrialAggregate()
+    graph: Optional[nx.Graph] = None
+    planted = None
+    for trial in range(trials):
+        if graph is None or regenerate_graph:
+            graph, planted = generators.planted_near_clique(
+                n=n,
+                clique_fraction=delta,
+                epsilon=defect,
+                background_p=background_p,
+                seed=rng.getrandbits(32),
+            )
+        trial_rng = random.Random(rng.getrandbits(48))
+        if engine == "centralized":
+            finder = CentralizedNearCliqueFinder(
+                graph, epsilon, min_output_size=min_output_size
+            )
+            result = finder.run(parameters, rng=trial_rng)
+        elif engine == "distributed":
+            runner = DistNearCliqueRunner(parameters=parameters, rng=trial_rng)
+            result = runner.run(graph)
+        else:
+            runner = BoostedNearCliqueRunner(
+                parameters=parameters,
+                repetitions=boosting_repetitions or 3,
+                rng=trial_rng,
+            )
+            result = runner.run(graph)
+        aggregate.outcomes.append(
+            _outcome_from_result(result, graph, planted.members, delta, success_fn)
+        )
+    return aggregate
+
+
+def run_on_graph(
+    graph: nx.Graph,
+    planted: Iterable[int],
+    epsilon: float,
+    delta: float,
+    trials: int,
+    seed: int = 0,
+    engine: str = "centralized",
+    sample_probability: float = 0.1,
+    max_sample_size: int = 14,
+    min_output_size: int = 0,
+    boosting_repetitions: Optional[int] = None,
+    success_fn: Optional[Callable] = None,
+) -> TrialAggregate:
+    """Run repeated trials of a near-clique finder on a fixed graph."""
+    rng = random.Random(seed)
+    parameters = AlgorithmParameters(
+        epsilon=epsilon,
+        sample_probability=sample_probability,
+        max_sample_size=max_sample_size,
+        min_output_size=min_output_size,
+    )
+    aggregate = TrialAggregate()
+    for _ in range(trials):
+        trial_rng = random.Random(rng.getrandbits(48))
+        if engine == "centralized":
+            finder = CentralizedNearCliqueFinder(
+                graph, epsilon, min_output_size=min_output_size
+            )
+            result = finder.run(parameters, rng=trial_rng)
+        elif engine == "distributed":
+            runner = DistNearCliqueRunner(parameters=parameters, rng=trial_rng)
+            result = runner.run(graph)
+        elif engine == "boosted":
+            runner = BoostedNearCliqueRunner(
+                parameters=parameters,
+                repetitions=boosting_repetitions or 3,
+                rng=trial_rng,
+            )
+            result = runner.run(graph)
+        else:
+            raise ValueError("unknown engine %r" % engine)
+        aggregate.outcomes.append(
+            _outcome_from_result(result, graph, planted, delta, success_fn)
+        )
+    return aggregate
+
+
+def sweep(
+    points: Sequence[Dict],
+    runner: Callable[..., TrialAggregate],
+) -> List[Tuple[Dict, TrialAggregate]]:
+    """Run *runner* once per parameter point and pair results with the point."""
+    results = []
+    for point in points:
+        results.append((dict(point), runner(**point)))
+    return results

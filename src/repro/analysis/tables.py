@@ -1,0 +1,81 @@
+"""Plain-text table rendering for benchmark output.
+
+Each benchmark prints one or more tables of the form the paper's evaluation
+would contain (parameter point per row, measured and predicted quantities
+per column).  EXPERIMENTS.md embeds the same tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+
+def format_value(value: Any) -> str:
+    """Render one cell: floats to four significant figures, rest verbatim."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return "%.3g" % value
+        return "%.4g" % value
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a monospace table with a header rule.
+
+    Returns the table as a string (callers print it); column widths adapt to
+    the content.
+    """
+    rendered_rows: List[List[str]] = [[format_value(cell) for cell in row] for row in rows]
+    header_cells = [str(h) for h in headers]
+    widths = [len(h) for h in header_cells]
+    for row in rendered_rows:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                "row has %d cells but the table has %d columns"
+                % (len(row), len(header_cells))
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(header_cells))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render and print a table; return the rendered string for logging."""
+    text = render_table(headers, rows, title=title)
+    print()
+    print(text)
+    return text
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render the same data as a GitHub-flavoured markdown table."""
+    header_cells = [str(h) for h in headers]
+    lines = [
+        "| " + " | ".join(header_cells) + " |",
+        "|" + "|".join("---" for _ in header_cells) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(format_value(cell) for cell in row) + " |")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Baseline algorithms the paper discusses or compares against.
+
+Section 3 of the paper analyses two "simple approaches" and shows why they
+fail; the related-work section points at the centralized dense-subgraph
+literature.  All of them are implemented here so that the experiments can
+reproduce the comparisons:
+
+* :mod:`repro.baselines.shingles` — the shingles heuristic (random minimum
+  labels), both as a CONGEST protocol and as a fast centralized simulation;
+  Claim 1 / Figure 1 show it fails on an explicit graph family (experiment
+  E4).
+* :mod:`repro.baselines.neighbors` — the neighbours'-neighbours algorithm:
+  correct, but needs LOCAL-model messages (all identifiers in one message)
+  and locally solves maximum clique; the experiments measure exactly those
+  two costs.
+* :mod:`repro.baselines.centralized` — centralized comparators: Charikar's
+  greedy peeling for densest subgraph, a greedy Dense-k-Subgraph heuristic,
+  an Abello-style quasi-clique local search, and peeling to an ε-near clique
+  (experiment E10).
+"""
+
+from repro.baselines.centralized import (
+    charikar_peeling,
+    greedy_dense_k_subgraph,
+    peel_to_near_clique,
+    quasi_clique_local_search,
+)
+from repro.baselines.neighbors import NeighborsNeighborsResult, neighbors_neighbors
+from repro.baselines.shingles import (
+    ShinglesCandidate,
+    ShinglesProtocol,
+    ShinglesResult,
+    shingles_run,
+)
+
+__all__ = [
+    "shingles_run",
+    "ShinglesResult",
+    "ShinglesCandidate",
+    "ShinglesProtocol",
+    "neighbors_neighbors",
+    "NeighborsNeighborsResult",
+    "charikar_peeling",
+    "greedy_dense_k_subgraph",
+    "quasi_clique_local_search",
+    "peel_to_near_clique",
+]

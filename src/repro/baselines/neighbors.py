@@ -1,0 +1,112 @@
+"""The neighbours'-neighbours baseline (Section 3 of the paper).
+
+The idea: in one round every node tells its neighbours who *its* neighbours
+are; afterwards every node knows the topology up to distance two and can
+locally find the largest clique it belongs to, killing cliques that
+intersect larger ones.  The paper rules this approach out for two reasons,
+both of which this implementation makes measurable:
+
+1. **Communication** — a message may contain all node identifiers, i.e. the
+   algorithm needs the LOCAL model, not CONGEST.  The implementation reports
+   the largest message it would send (``max_message_bits``), which grows as
+   Θ(Δ · log n) instead of O(log n).
+2. **Computation** — every node locally solves a maximum-clique instance on
+   its distance-2 ball, which is NP-hard in general; the implementation
+   reports how many maximal cliques each node had to enumerate
+   (``cliques_enumerated``), which explodes on dense balls.
+
+The function is still *correct* (it outputs genuine cliques), so experiment
+E10 can use it as a quality reference on small graphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.congest.message import id_bits_for
+
+
+@dataclass
+class NeighborsNeighborsResult:
+    """Outcome of the neighbours'-neighbours algorithm."""
+
+    labels: Dict[int, Optional[int]] = field(default_factory=dict)
+    cliques: List[FrozenSet[int]] = field(default_factory=list)
+    #: Size in bits of the largest "here are my neighbours" message.
+    max_message_bits: int = 0
+    #: Total number of maximal cliques enumerated across all nodes — the
+    #: local-computation cost the paper calls "notoriously hard".
+    cliques_enumerated: int = 0
+    rounds: int = 1
+
+    def largest_clique(self) -> FrozenSet[int]:
+        if not self.cliques:
+            return frozenset()
+        return max(self.cliques, key=lambda c: (len(c), sorted(c)))
+
+
+def neighbors_neighbors(graph: nx.Graph) -> NeighborsNeighborsResult:
+    """Run the neighbours'-neighbours algorithm (LOCAL model, 1 round).
+
+    Every node receives its neighbours' adjacency lists (one round of
+    unbounded messages), finds the maximum clique within its distance-2 view
+    that contains itself, and adopts it as its candidate.  Candidates are
+    then reconciled exactly as the paper sketches: a candidate survives only
+    if it does not intersect a larger candidate (ties broken towards the
+    candidate containing the smaller minimum identifier), and surviving
+    cliques label their members.
+    """
+    n = graph.number_of_nodes()
+    id_bits = id_bits_for(max(2, n))
+    result = NeighborsNeighborsResult()
+
+    # Communication cost of the single round: node v sends its adjacency list
+    # to every neighbour; the message size is deg(v) identifiers.
+    result.max_message_bits = max(
+        (graph.degree(v) * id_bits for v in graph.nodes()), default=0
+    )
+
+    # Local computation: the maximum clique containing v inside its
+    # distance-2 ball.
+    best_clique_of: Dict[int, FrozenSet[int]] = {}
+    for v in graph.nodes():
+        ball = {v} | set(graph[v])
+        for u in list(graph[v]):
+            ball |= set(graph[u])
+        view = graph.subgraph(ball)
+        best: Tuple[int, Tuple[int, ...]] = (0, ())
+        for clique in nx.find_cliques(view):
+            result.cliques_enumerated += 1
+            if v not in clique:
+                continue
+            key = (len(clique), tuple(sorted(clique)))
+            if key[0] > best[0] or (key[0] == best[0] and key[1] < best[1]):
+                best = key
+        best_clique_of[v] = frozenset(best[1])
+
+    # Conflict resolution: distinct candidates, larger first, smaller minimum
+    # identifier as the tie breaker; greedily keep non-overlapping ones.
+    distinct = sorted(
+        {clique for clique in best_clique_of.values() if clique},
+        key=lambda c: (-len(c), min(c)),
+    )
+    taken: set = set()
+    survivors: List[FrozenSet[int]] = []
+    for clique in distinct:
+        if clique & taken:
+            continue
+        survivors.append(clique)
+        taken |= clique
+
+    labels: Dict[int, Optional[int]] = {v: None for v in graph.nodes()}
+    for clique in survivors:
+        leader = min(clique)
+        for member in clique:
+            labels[member] = leader
+
+    result.labels = labels
+    result.cliques = survivors
+    return result

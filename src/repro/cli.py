@@ -1,0 +1,223 @@
+"""Command-line interface for the near-clique reproduction.
+
+Three subcommands cover the common workflows without writing any Python:
+
+``repro-nearclique find``
+    Generate (or load) a workload and run the distributed / boosted /
+    centralized near-clique finder on it, printing the discovered clusters
+    and the CONGEST metrics.
+
+``repro-nearclique generate``
+    Write one of the paper's workload families to an edge-list file
+    (planted near-clique, Figure 1 counterexample, path-of-cliques).
+
+``repro-nearclique verify``
+    Check whether a given set of nodes is an ε-near clique of a saved graph
+    (Definition 1), printing the density certificate.
+
+The CLI is intentionally thin: every flag maps one-to-one onto a public API
+parameter, so scripts can graduate to the library without translation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import tables
+from repro.core import near_clique
+from repro.core.boosting import BoostedNearCliqueRunner
+from repro.core.dist_near_clique import DistNearCliqueRunner
+from repro.core.reference import CentralizedNearCliqueFinder
+from repro.core.params import AlgorithmParameters
+from repro.graphs import generators, io
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-nearclique",
+        description="Distributed discovery of large near-cliques (PODC 2009 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    find = sub.add_parser("find", help="run the near-clique finder on a workload")
+    find.add_argument("--graph", help="edge-list file written by 'generate' (default: generate a planted workload)")
+    find.add_argument("--n", type=int, default=100, help="nodes of the generated workload")
+    find.add_argument("--delta", type=float, default=0.5, help="planted near-clique fraction")
+    find.add_argument("--epsilon", type=float, default=0.2, help="the algorithm's epsilon")
+    find.add_argument("--background", type=float, default=0.05, help="background edge probability")
+    find.add_argument(
+        "--engine",
+        choices=("distributed", "boosted", "centralized"),
+        default="distributed",
+    )
+    find.add_argument("--expected-sample", type=float, default=8.0, help="target E[|S|] = p*n")
+    find.add_argument("--max-sample", type=int, default=13, help="Section 4.1 abort threshold on |S|")
+    find.add_argument("--repetitions", type=int, default=4, help="boosting repetitions (boosted engine)")
+    find.add_argument("--min-output-size", type=int, default=0)
+    find.add_argument("--seed", type=int, default=0)
+
+    generate = sub.add_parser("generate", help="write a workload to an edge-list file")
+    generate.add_argument("output", help="output path (.edges)")
+    generate.add_argument(
+        "--family",
+        choices=("planted", "figure1", "path-of-cliques", "web"),
+        default="planted",
+    )
+    generate.add_argument("--n", type=int, default=100)
+    generate.add_argument("--delta", type=float, default=0.5)
+    generate.add_argument("--epsilon", type=float, default=0.008, help="planted defect (planted family)")
+    generate.add_argument("--background", type=float, default=0.05)
+    generate.add_argument("--seed", type=int, default=0)
+
+    verify = sub.add_parser("verify", help="check Definition 1 for a node set")
+    verify.add_argument("graph", help="edge-list file")
+    verify.add_argument("--epsilon", type=float, required=True)
+    verify.add_argument(
+        "--nodes",
+        help="comma-separated node ids; default: the planted set recorded in the file",
+    )
+    return parser
+
+
+def _load_or_generate(args) -> tuple:
+    if args.graph:
+        graph, planted = io.read_edge_list(args.graph)
+        return graph, planted
+    graph, planted = generators.planted_near_clique(
+        n=args.n,
+        clique_fraction=args.delta,
+        epsilon=args.epsilon ** 3,
+        background_p=args.background,
+        seed=args.seed,
+    )
+    return graph, planted.members
+
+
+def _cmd_find(args) -> int:
+    graph, planted = _load_or_generate(args)
+    n = graph.number_of_nodes()
+    probability = min(1.0, args.expected_sample / max(1, n))
+    rng = random.Random(args.seed)
+    parameters = AlgorithmParameters(
+        epsilon=args.epsilon,
+        sample_probability=probability,
+        max_sample_size=args.max_sample,
+        min_output_size=args.min_output_size,
+    )
+    if args.engine == "distributed":
+        result = DistNearCliqueRunner(parameters=parameters, rng=rng).run(graph)
+    elif args.engine == "boosted":
+        result = BoostedNearCliqueRunner(
+            parameters=parameters, repetitions=args.repetitions, rng=rng
+        ).run(graph)
+    else:
+        result = CentralizedNearCliqueFinder(
+            graph, args.epsilon, min_output_size=args.min_output_size
+        ).run(parameters, rng=rng)
+
+    if result.aborted:
+        print("Run aborted:", result.abort_reason)
+        return 1
+
+    rows = []
+    for label, members in sorted(result.clusters.items(), key=lambda kv: -len(kv[1])):
+        rows.append(
+            [label, len(members), near_clique.density(graph, members)]
+        )
+    if not rows:
+        rows.append(["(none)", 0, 0.0])
+    tables.print_table(["label", "size", "density"], rows, title="Discovered near-cliques")
+
+    summary = [
+        ["nodes", n],
+        ["sample size", len(result.sample)],
+        ["largest cluster", len(result.largest_cluster())],
+    ]
+    if planted:
+        summary.append(["recall of planted set", result.recall_of(planted)])
+    if result.metrics is not None:
+        summary.extend(
+            [
+                ["rounds", result.metrics.rounds],
+                ["total messages", result.metrics.total_messages],
+                ["max message bits", result.metrics.max_message_bits],
+            ]
+        )
+    tables.print_table(["measure", "value"], summary, title="Run summary")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.family == "planted":
+        graph, planted = generators.planted_near_clique(
+            n=args.n,
+            clique_fraction=args.delta,
+            epsilon=args.epsilon,
+            background_p=args.background,
+            seed=args.seed,
+        )
+        members = planted.members
+    elif args.family == "figure1":
+        graph, partition = generators.shingles_counterexample(n=args.n, delta=args.delta)
+        members = partition["clique"]
+    elif args.family == "path-of-cliques":
+        graph, partition = generators.path_of_cliques(args.n)
+        members = partition["A"]
+    else:
+        graph, communities = generators.web_community_graph(args.n, seed=args.seed)
+        members = communities[0].members
+    io.write_edge_list(
+        graph,
+        args.output,
+        planted=members,
+        comment="family: %s" % args.family,
+    )
+    print(
+        "Wrote %s: %d nodes, %d edges, planted set of %d nodes"
+        % (args.output, graph.number_of_nodes(), graph.number_of_edges(), len(members))
+    )
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    graph, planted = io.read_edge_list(args.graph)
+    if args.nodes:
+        members = {int(part) for part in args.nodes.split(",") if part.strip()}
+    elif planted is not None:
+        members = set(planted)
+    else:
+        print("No node set given and the file records no planted set.", file=sys.stderr)
+        return 2
+    defect = near_clique.near_clique_defect(graph, members)
+    verdict = near_clique.is_near_clique(graph, members, args.epsilon)
+    tables.print_table(
+        ["measure", "value"],
+        [
+            ["set size", len(members)],
+            ["density", 1.0 - defect],
+            ["defect", defect],
+            ["epsilon", args.epsilon],
+            ["is eps-near clique", verdict],
+        ],
+        title="Definition 1 certificate",
+    )
+    return 0 if verdict else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (also exposed as the ``repro-nearclique`` console script)."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "find":
+        return _cmd_find(args)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

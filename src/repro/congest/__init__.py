@@ -1,0 +1,78 @@
+"""Synchronous CONGEST model simulator.
+
+The CONGEST model (Peleg, *Distributed Computing: A Locality-Sensitive
+Approach*) is the execution model assumed by the paper (Section 2):
+
+* the system is an undirected graph whose nodes are processors and whose
+  edges are communication links;
+* every node has a unique O(log n)-bit identifier;
+* execution proceeds in synchronous rounds — in each round every node sends
+  at most one message per incident edge, receives the messages sent to it in
+  the previous round, and performs local computation;
+* every message carries O(log n) bits.
+
+This package simulates that model in-process.  The pieces are:
+
+``Message`` / ``Inbound``
+    The unit of communication, with explicit bit-size accounting.
+
+``Protocol`` / ``NodeContext``
+    The programming interface for distributed algorithms: a protocol is a
+    per-node state machine driven by ``on_start`` and ``on_round`` callbacks;
+    the context restricts a node to purely local information (its identifier,
+    its incident edges, and received messages).
+
+``Network``
+    The communication graph plus per-node state containers.
+
+``SynchronousScheduler`` / ``run_protocol``
+    The round-driving loop, including congestion enforcement (at most one
+    message per edge direction per round) and message-size checks.
+
+``metrics``
+    Round, message, and bit accounting used by the complexity experiments
+    (E2, E5, E6 in DESIGN.md).
+
+``AlphaSynchronizer``
+    An asynchronous execution wrapper showing that, as the paper notes, the
+    synchronous algorithm can be executed in an asynchronous environment
+    using a synchronizer.
+"""
+
+from repro.congest.config import CongestConfig
+from repro.congest.errors import (
+    CongestError,
+    CongestionViolation,
+    MessageSizeViolation,
+    ProtocolError,
+    RoundLimitExceeded,
+)
+from repro.congest.message import Inbound, Message, estimate_payload_bits, id_bits_for
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.network import Network
+from repro.congest.node import NodeContext, Protocol
+from repro.congest.scheduler import RunResult, SynchronousScheduler, run_protocol
+from repro.congest.synchronizer import AlphaSynchronizer, AsyncRunResult
+
+__all__ = [
+    "CongestConfig",
+    "CongestError",
+    "CongestionViolation",
+    "MessageSizeViolation",
+    "ProtocolError",
+    "RoundLimitExceeded",
+    "Message",
+    "Inbound",
+    "estimate_payload_bits",
+    "id_bits_for",
+    "Network",
+    "NodeContext",
+    "Protocol",
+    "SynchronousScheduler",
+    "RunResult",
+    "run_protocol",
+    "RoundMetrics",
+    "RunMetrics",
+    "AlphaSynchronizer",
+    "AsyncRunResult",
+]

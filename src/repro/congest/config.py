@@ -1,0 +1,89 @@
+"""Simulator configuration.
+
+The configuration object collects every knob the scheduler honours, so that
+experiments can state their execution assumptions explicitly (and tests can
+exercise both the strict and the permissive behaviours).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class CongestConfig:
+    """Configuration for a :class:`repro.congest.scheduler.SynchronousScheduler`.
+
+    Parameters
+    ----------
+    max_rounds:
+        Deterministic cap on the number of rounds.  ``None`` means no cap.
+        The paper's Section 4.1 wrapper corresponds to setting a finite cap
+        and treating :class:`repro.congest.errors.RoundLimitExceeded` as a
+        failed repetition.
+    enforce_congestion:
+        When True (the default) a node may send at most one message per
+        neighbour per round, as the CONGEST model requires; a second send on
+        the same edge raises
+        :class:`repro.congest.errors.CongestionViolation`.
+    message_bit_budget:
+        Hard per-message bit limit.  ``None`` disables the check (used by the
+        LOCAL-model neighbours'-neighbours baseline, whose whole point is
+        that its messages are *not* O(log n) bits).  Use
+        :meth:`CongestConfig.with_log_budget` to derive a budget of
+        ``budget_multiplier * ceil(log2 n)`` bits.
+    budget_multiplier:
+        The constant in front of log n used by :meth:`with_log_budget`.
+        The protocols in this package fit comfortably within 12·log2(n) bits
+        per message (a constant number of identifiers and counters plus a
+        constant header).
+    record_round_metrics:
+        When True the scheduler keeps a per-round metrics trace; disable for
+        very long runs to save memory.
+    """
+
+    max_rounds: Optional[int] = None
+    enforce_congestion: bool = True
+    message_bit_budget: Optional[int] = None
+    budget_multiplier: float = 12.0
+    record_round_metrics: bool = True
+
+    def with_log_budget(self, n: int) -> "CongestConfig":
+        """Return a copy whose message budget is ``budget_multiplier * log2 n``.
+
+        The budget never drops below 32 bits so that tiny test graphs (n of a
+        few nodes) do not spuriously reject constant-size headers.
+        """
+        budget = max(32, int(math.ceil(self.budget_multiplier * math.log2(max(2, n)))))
+        return CongestConfig(
+            max_rounds=self.max_rounds,
+            enforce_congestion=self.enforce_congestion,
+            message_bit_budget=budget,
+            budget_multiplier=self.budget_multiplier,
+            record_round_metrics=self.record_round_metrics,
+        )
+
+    def with_max_rounds(self, max_rounds: Optional[int]) -> "CongestConfig":
+        """Return a copy with a different deterministic round cap."""
+        return CongestConfig(
+            max_rounds=max_rounds,
+            enforce_congestion=self.enforce_congestion,
+            message_bit_budget=self.message_bit_budget,
+            budget_multiplier=self.budget_multiplier,
+            record_round_metrics=self.record_round_metrics,
+        )
+
+    @staticmethod
+    def local_model(max_rounds: Optional[int] = None) -> "CongestConfig":
+        """Configuration for LOCAL-model protocols (unbounded message size).
+
+        Used by the neighbours'-neighbours baseline of Section 3, whose
+        messages may contain all node identifiers.
+        """
+        return CongestConfig(
+            max_rounds=max_rounds,
+            enforce_congestion=True,
+            message_bit_budget=None,
+        )

@@ -1,0 +1,69 @@
+"""Exception hierarchy for the CONGEST simulator.
+
+Every error raised by the simulator derives from :class:`CongestError`, so
+callers that want to treat any simulation failure uniformly (for example the
+boosting wrapper, which treats an aborted repetition as a failed coin flip)
+can catch a single type.
+"""
+
+from __future__ import annotations
+
+
+class CongestError(Exception):
+    """Base class for every error raised by the CONGEST simulator."""
+
+
+class ProtocolError(CongestError):
+    """A protocol implementation violated the simulator's programming model.
+
+    Examples: sending to a non-neighbour, sending after halting, or writing a
+    non-serialisable payload.
+    """
+
+
+class CongestionViolation(CongestError):
+    """A node attempted to send more than one message on an edge in a round.
+
+    The CONGEST model allows a single message per edge direction per round.
+    Protocols that need to transmit more data must pipeline it across rounds
+    (see :mod:`repro.primitives.pipelines`).
+    """
+
+    def __init__(self, sender, receiver, round_index):
+        super().__init__(
+            "node %r sent more than one message to %r in round %d"
+            % (sender, receiver, round_index)
+        )
+        self.sender = sender
+        self.receiver = receiver
+        self.round_index = round_index
+
+
+class MessageSizeViolation(CongestError):
+    """A message exceeded the configured O(log n)-bit budget."""
+
+    def __init__(self, sender, receiver, bits, budget, round_index):
+        super().__init__(
+            "message from %r to %r carries %d bits, exceeding the budget of "
+            "%d bits in round %d" % (sender, receiver, bits, budget, round_index)
+        )
+        self.sender = sender
+        self.receiver = receiver
+        self.bits = bits
+        self.budget = budget
+        self.round_index = round_index
+
+
+class RoundLimitExceeded(CongestError):
+    """The scheduler hit its deterministic round cap before quiescence.
+
+    The paper's Section 4.1 "bounding the running time" wrapper aborts the
+    algorithm when a specified time limit is exceeded; the scheduler raises
+    this error so the wrapper can record the repetition as failed.
+    """
+
+    def __init__(self, max_rounds):
+        super().__init__(
+            "protocol did not terminate within %d rounds" % max_rounds
+        )
+        self.max_rounds = max_rounds

@@ -1,0 +1,178 @@
+"""The communication graph and per-node contexts.
+
+A :class:`Network` is constructed from an undirected ``networkx`` graph.
+Node labels must be hashable; they are mapped to integer identifiers
+(preserving integer labels when possible) because the paper assumes each
+node carries a unique O(log n)-bit identifier that supports comparisons
+(smallest-ID root election, largest-root tie breaking).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.congest.errors import ProtocolError
+from repro.congest.node import NodeContext
+
+
+class Network:
+    """An undirected communication network with integer node identifiers.
+
+    Parameters
+    ----------
+    graph:
+        Undirected simple graph.  Self-loops are ignored (a processor does
+        not have a link to itself); multi-edges are collapsed by networkx.
+    relabel:
+        When True (default) and the graph's labels are not all integers, the
+        nodes are relabelled ``0..n-1`` in sorted-label order.  The mapping
+        is available as :attr:`label_of` / :attr:`id_of`.
+    seed:
+        Seed for the network-level random source from which per-node private
+        random generators are derived.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        relabel: bool = True,
+        seed: Optional[int] = None,
+    ) -> None:
+        if graph.is_directed():
+            raise ValueError("the CONGEST simulator models undirected networks")
+        working = nx.Graph()
+        working.add_nodes_from(graph.nodes())
+        working.add_edges_from((u, v) for u, v in graph.edges() if u != v)
+
+        all_int = all(isinstance(node, int) for node in working.nodes())
+        if all_int:
+            self._graph = working
+            self.id_of: Dict[Any, int] = {node: node for node in working.nodes()}
+        elif relabel:
+            ordered = sorted(working.nodes(), key=repr)
+            self.id_of = {label: index for index, label in enumerate(ordered)}
+            self._graph = nx.relabel_nodes(working, self.id_of, copy=True)
+        else:
+            raise ValueError(
+                "node labels must be integers when relabel=False; got %r"
+                % (sorted(map(type, working.nodes()), key=repr)[:3],)
+            )
+        self.label_of: Dict[int, Any] = {v: k for k, v in self.id_of.items()}
+
+        self._adjacency: Dict[int, Tuple[int, ...]] = {
+            node: tuple(sorted(self._graph.neighbors(node)))
+            for node in self._graph.nodes()
+        }
+        self._rng = random.Random(seed)
+        self._contexts: Dict[int, NodeContext] = {}
+
+    # ------------------------------------------------------------------
+    # topology accessors
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        """The relabelled underlying graph (integer node ids)."""
+        return self._graph
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._graph.number_of_nodes()
+
+    @property
+    def node_ids(self) -> List[int]:
+        """Sorted list of node identifiers."""
+        return sorted(self._graph.nodes())
+
+    def neighbors(self, node_id: int) -> Tuple[int, ...]:
+        """Adjacent node identifiers of *node_id* (sorted)."""
+        return self._adjacency[node_id]
+
+    def degree(self, node_id: int) -> int:
+        return len(self._adjacency[node_id])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return self._graph.has_edge(u, v)
+
+    def number_of_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    # ------------------------------------------------------------------
+    # contexts
+    # ------------------------------------------------------------------
+    def build_contexts(
+        self,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        fresh: bool = True,
+    ) -> Dict[int, NodeContext]:
+        """Create (or refresh) the per-node execution contexts.
+
+        Parameters
+        ----------
+        global_inputs:
+            Values known to every node before the protocol starts (the
+            algorithm's parameters epsilon and p, for instance).
+        per_node_inputs:
+            Values placed in each node's ``state`` before the protocol starts
+            (used by composite protocols to pass a previous stage's per-node
+            output to the next stage).
+        fresh:
+            When True, brand-new contexts are built (erasing all state);
+            when False, the existing contexts are reused and only the inputs
+            are updated — this is how a composite protocol lets later stages
+            read the state accumulated by earlier stages.
+        """
+        if fresh or not self._contexts:
+            self._contexts = {}
+            for node_id in self.node_ids:
+                node_seed = self._rng.getrandbits(63)
+                self._contexts[node_id] = NodeContext(
+                    node_id=node_id,
+                    neighbors=self._adjacency[node_id],
+                    n=self.n,
+                    global_inputs=global_inputs,
+                    rng=random.Random(node_seed),
+                )
+        else:
+            for ctx in self._contexts.values():
+                ctx._reset_for_new_protocol()
+                if global_inputs:
+                    ctx.globals.update(global_inputs)
+        if per_node_inputs:
+            for node_id, inputs in per_node_inputs.items():
+                if node_id not in self._contexts:
+                    raise ProtocolError("unknown node id %r in per-node inputs" % node_id)
+                self._contexts[node_id].state.update(inputs)
+        return self._contexts
+
+    @property
+    def contexts(self) -> Dict[int, NodeContext]:
+        """The contexts of the most recent :meth:`build_contexts` call."""
+        if not self._contexts:
+            raise ProtocolError("contexts have not been built yet")
+        return self._contexts
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, int]],
+        nodes: Optional[Iterable[int]] = None,
+        seed: Optional[int] = None,
+    ) -> "Network":
+        """Build a network from an edge list (and optional isolated nodes)."""
+        graph = nx.Graph()
+        if nodes is not None:
+            graph.add_nodes_from(nodes)
+        graph.add_edges_from(edges)
+        return cls(graph, seed=seed)
+
+    def induced_subgraph(self, nodes: Iterable[int]) -> nx.Graph:
+        """Return the subgraph induced by *nodes* (a copy)."""
+        return self._graph.subgraph(list(nodes)).copy()

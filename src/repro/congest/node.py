@@ -1,0 +1,209 @@
+"""The per-node programming interface of the simulator.
+
+A distributed algorithm is expressed as a :class:`Protocol`: a factory of
+per-node state plus two callbacks, ``on_start`` (round 0 initialisation,
+before any message is delivered) and ``on_round`` (one invocation per node
+per round, receiving the messages sent to this node in the previous round).
+
+The :class:`NodeContext` is the only handle a node has on the world.  It
+deliberately exposes *local information only* — the node's identifier, its
+incident edges, the global parameters every node is assumed to know (n and
+the algorithm's input parameters), and a ``send`` primitive.  Protocol code
+that respects this interface is, by construction, a legitimate distributed
+algorithm: it cannot peek at another node's state or at non-adjacent parts of
+the topology.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.congest.errors import ProtocolError
+from repro.congest.message import Inbound, Message
+
+
+class NodeContext:
+    """Local execution context handed to protocol callbacks for one node.
+
+    Attributes
+    ----------
+    node_id:
+        The node's unique identifier (an integer label).
+    neighbors:
+        Tuple of identifiers of adjacent nodes, in sorted order.
+    n:
+        Number of nodes in the system (every node is assumed to know n, as
+        is standard in the CONGEST model).
+    state:
+        A per-node dictionary for protocol state.  It persists across rounds
+        and across protocols run in sequence on the same network (composite
+        protocols use it to pass stage outputs along).
+    output:
+        The node's output register.  The paper's problem statement requires
+        each node to hold, on termination, either a label or the special
+        value ``None`` (the paper's ``⊥``).
+    """
+
+    __slots__ = (
+        "node_id",
+        "neighbors",
+        "n",
+        "state",
+        "output",
+        "globals",
+        "_round",
+        "_outgoing",
+        "_halted",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: Sequence[int],
+        n: int,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        rng: Any = None,
+    ) -> None:
+        self.node_id = node_id
+        self.neighbors: Tuple[int, ...] = tuple(sorted(neighbors))
+        self.n = n
+        self.state: Dict[str, Any] = {}
+        self.output: Any = None
+        #: Parameters known to all nodes (epsilon, p, round bounds...).
+        self.globals: Dict[str, Any] = dict(global_inputs or {})
+        self._round = 0
+        self._outgoing: Dict[int, List[Message]] = {}
+        self._halted = False
+        self._rng = rng
+
+    # ------------------------------------------------------------------
+    # read-only views
+    # ------------------------------------------------------------------
+    @property
+    def round_index(self) -> int:
+        """Index of the current round (0-based)."""
+        return self._round
+
+    @property
+    def degree(self) -> int:
+        """Number of incident edges."""
+        return len(self.neighbors)
+
+    @property
+    def halted(self) -> bool:
+        """Whether this node has declared local termination."""
+        return self._halted
+
+    @property
+    def rng(self):
+        """The node's private random source (set by the scheduler)."""
+        if self._rng is None:
+            raise ProtocolError(
+                "node %r requested randomness but the scheduler did not "
+                "provide a random source" % (self.node_id,)
+            )
+        return self._rng
+
+    def is_neighbor(self, other: int) -> bool:
+        """Return True when *other* is adjacent to this node."""
+        return other in self._neighbor_set()
+
+    def _neighbor_set(self):
+        cached = self.state.get("__neighbor_set")
+        if cached is None:
+            cached = frozenset(self.neighbors)
+            self.state["__neighbor_set"] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def send(self, neighbor: int, message: Message) -> None:
+        """Queue *message* for delivery to *neighbor* at the next round.
+
+        The scheduler enforces the one-message-per-edge-per-round rule and
+        the bit budget; this method only validates adjacency and type.
+        """
+        if self._halted:
+            raise ProtocolError(
+                "node %r attempted to send after halting" % (self.node_id,)
+            )
+        if not isinstance(message, Message):
+            raise ProtocolError(
+                "node %r attempted to send a %r instead of a Message"
+                % (self.node_id, type(message).__name__)
+            )
+        if neighbor not in self._neighbor_set():
+            raise ProtocolError(
+                "node %r attempted to send to %r which is not a neighbour"
+                % (self.node_id, neighbor)
+            )
+        self._outgoing.setdefault(neighbor, []).append(message)
+
+    def send_all(self, message: Message, exclude: Iterable[int] = ()) -> None:
+        """Queue *message* to every neighbour except those in *exclude*."""
+        excluded = set(exclude)
+        for neighbor in self.neighbors:
+            if neighbor not in excluded:
+                self.send(neighbor, message)
+
+    def halt(self) -> None:
+        """Declare local termination.
+
+        A halted node takes no further part in the protocol; the scheduler
+        stops once every node has halted and no messages remain in flight.
+        """
+        self._halted = True
+
+    def write_output(self, value: Any) -> None:
+        """Write the node's output register (the paper's label or ``⊥``)."""
+        self.output = value
+
+    # ------------------------------------------------------------------
+    # scheduler-facing internals
+    # ------------------------------------------------------------------
+    def _collect_outgoing(self) -> Dict[int, List[Message]]:
+        outgoing = self._outgoing
+        self._outgoing = {}
+        return outgoing
+
+    def _advance_round(self, round_index: int) -> None:
+        self._round = round_index
+
+    def _reset_for_new_protocol(self) -> None:
+        """Clear termination status between protocols of a composite run."""
+        self._halted = False
+        self._outgoing = {}
+
+
+class Protocol:
+    """Base class for distributed algorithms run by the scheduler.
+
+    Subclasses override :meth:`on_start` and :meth:`on_round`.  The default
+    implementations do nothing, so trivial protocols (for example a protocol
+    that only inspects its local neighbourhood) can override a single hook.
+    """
+
+    #: Human-readable protocol name used in metrics and error messages.
+    name = "protocol"
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Round-0 initialisation for one node (no messages available yet)."""
+
+    def on_round(self, ctx: NodeContext, inbox: List[Inbound]) -> None:
+        """Process the messages delivered this round and queue replies."""
+
+    def finished(self, ctx: NodeContext) -> bool:
+        """Local termination predicate.
+
+        By default a node is finished once it has called
+        :meth:`NodeContext.halt`.  Protocols whose nodes terminate implicitly
+        (for example "run for exactly T rounds") may override this instead of
+        calling ``halt`` explicitly.
+        """
+        return ctx.halted
+
+    def collect_output(self, ctx: NodeContext) -> Any:
+        """Value reported for this node in the run result (default: output)."""
+        return ctx.output

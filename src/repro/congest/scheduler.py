@@ -1,0 +1,203 @@
+"""The synchronous round scheduler.
+
+The scheduler drives a :class:`repro.congest.node.Protocol` over a
+:class:`repro.congest.network.Network` in lock-step rounds:
+
+1. messages queued in round *r* are delivered at the start of round *r + 1*;
+2. every (non-halted) node processes its inbox and queues new messages;
+3. the one-message-per-edge-per-round rule and the per-message bit budget are
+   enforced as messages are collected.
+
+Termination
+-----------
+A run terminates when every node has locally terminated
+(:meth:`Protocol.finished`) and no messages are in flight.  Protocols that do
+not implement explicit distributed termination detection may set the class
+attribute ``quiesce_terminates = True``; such a run also terminates when the
+network becomes silent (no messages in flight and none produced in the last
+round).  This is a simulator convenience standing in for the deterministic
+worst-case round bounds the paper uses (Lemma 5.1); measured round counts are
+unaffected because silent trailing rounds are not executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.congest.config import CongestConfig
+from repro.congest.errors import (
+    CongestionViolation,
+    MessageSizeViolation,
+    ProtocolError,
+    RoundLimitExceeded,
+)
+from repro.congest.message import Inbound, Message
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.network import Network
+from repro.congest.node import NodeContext, Protocol
+
+#: Number of consecutive completely silent rounds after which a protocol that
+#: does not declare ``quiesce_terminates`` is considered stalled.
+_STALL_LIMIT = 3
+
+
+@dataclass
+class RunResult:
+    """Outcome of one protocol execution.
+
+    Attributes
+    ----------
+    outputs:
+        Mapping from node id to the value reported by
+        :meth:`Protocol.collect_output` (by default the node's output
+        register).
+    metrics:
+        Round / message / bit accounting for the run.
+    contexts:
+        The per-node contexts after the run; composite protocols read
+        intermediate per-node state from here.
+    """
+
+    outputs: Dict[int, Any]
+    metrics: RunMetrics
+    contexts: Dict[int, NodeContext] = field(default_factory=dict)
+
+
+class SynchronousScheduler:
+    """Run one protocol on one network under a :class:`CongestConfig`."""
+
+    def __init__(
+        self,
+        network: Network,
+        protocol: Protocol,
+        config: Optional[CongestConfig] = None,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        reuse_contexts: bool = False,
+    ) -> None:
+        self.network = network
+        self.protocol = protocol
+        self.config = config or CongestConfig()
+        self.global_inputs = global_inputs
+        self.per_node_inputs = per_node_inputs
+        self.reuse_contexts = reuse_contexts
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Execute the protocol to termination and return its result."""
+        contexts = self.network.build_contexts(
+            global_inputs=self.global_inputs,
+            per_node_inputs=self.per_node_inputs,
+            fresh=not self.reuse_contexts,
+        )
+        metrics = RunMetrics()
+        quiesce_ok = bool(getattr(self.protocol, "quiesce_terminates", False))
+
+        # Messages queued during on_start are delivered in round 1; their
+        # volume is accounted to that first round.
+        startup_metrics = RoundMetrics(round_index=0)
+        for ctx in contexts.values():
+            ctx._advance_round(0)
+            self.protocol.on_start(ctx)
+        pending = self._collect_all(contexts, round_index=0, metrics=startup_metrics)
+
+        rounds = 0
+        silent_rounds = 0
+        while True:
+            all_done = all(self.protocol.finished(ctx) for ctx in contexts.values())
+            if all_done and not pending:
+                break
+            if not pending and rounds > 0 and quiesce_ok:
+                break
+            if not pending and rounds > 0:
+                silent_rounds += 1
+                if silent_rounds >= _STALL_LIMIT:
+                    raise ProtocolError(
+                        "protocol %r stalled: no messages in flight, nodes not "
+                        "finished, after %d silent rounds"
+                        % (self.protocol.name, silent_rounds)
+                    )
+            else:
+                silent_rounds = 0
+            if self.config.max_rounds is not None and rounds >= self.config.max_rounds:
+                raise RoundLimitExceeded(self.config.max_rounds)
+
+            rounds += 1
+            round_metrics = RoundMetrics(round_index=rounds)
+            if rounds == 1:
+                round_metrics.messages_sent = startup_metrics.messages_sent
+                round_metrics.bits_sent = startup_metrics.bits_sent
+                round_metrics.max_message_bits = startup_metrics.max_message_bits
+            inboxes: Dict[int, List[Inbound]] = {}
+            for (sender, receiver), message in pending:
+                inboxes.setdefault(receiver, []).append(
+                    Inbound(sender=sender, message=message)
+                )
+
+            active = 0
+            for node_id, ctx in contexts.items():
+                ctx._advance_round(rounds)
+                inbox = inboxes.get(node_id, [])
+                if self.protocol.finished(ctx):
+                    # A halted node ignores late messages, mirroring the
+                    # convention that its output is already committed.
+                    continue
+                active += 1
+                self.protocol.on_round(ctx, inbox)
+            round_metrics.active_nodes = active
+
+            pending = self._collect_all(contexts, rounds, round_metrics)
+            round_metrics.edges_used = len({pair for pair, _ in pending})
+            metrics.absorb_round(round_metrics, self.config.record_round_metrics)
+
+        outputs = {
+            node_id: self.protocol.collect_output(ctx)
+            for node_id, ctx in contexts.items()
+        }
+        return RunResult(outputs=outputs, metrics=metrics, contexts=contexts)
+
+    # ------------------------------------------------------------------
+    def _collect_all(
+        self,
+        contexts: Dict[int, NodeContext],
+        round_index: int,
+        metrics: Optional[RoundMetrics],
+    ) -> List:
+        """Gather queued messages from every node, enforcing the model rules."""
+        budget = self.config.message_bit_budget
+        pending = []
+        for node_id, ctx in contexts.items():
+            outgoing = ctx._collect_outgoing()
+            for receiver, messages in outgoing.items():
+                if self.config.enforce_congestion and len(messages) > 1:
+                    raise CongestionViolation(node_id, receiver, round_index)
+                for message in messages:
+                    if budget is not None and message.bits > budget:
+                        raise MessageSizeViolation(
+                            node_id, receiver, message.bits, budget, round_index
+                        )
+                    if metrics is not None:
+                        metrics.observe_message(message.bits)
+                    pending.append(((node_id, receiver), message))
+        return pending
+
+
+def run_protocol(
+    network: Network,
+    protocol: Protocol,
+    config: Optional[CongestConfig] = None,
+    global_inputs: Optional[Dict[str, Any]] = None,
+    per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+    reuse_contexts: bool = False,
+) -> RunResult:
+    """Convenience wrapper: build a scheduler and run it once."""
+    scheduler = SynchronousScheduler(
+        network=network,
+        protocol=protocol,
+        config=config,
+        global_inputs=global_inputs,
+        per_node_inputs=per_node_inputs,
+        reuse_contexts=reuse_contexts,
+    )
+    return scheduler.run()

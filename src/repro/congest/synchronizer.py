@@ -1,0 +1,300 @@
+"""Asynchronous execution via an alpha synchronizer.
+
+Section 2 of the paper notes that because no processor crashes are assumed,
+"any synchronous algorithm can be executed in an asynchronous environment
+using a synchronizer" (Awerbuch's synchronizers, reference [3]).  This module
+implements the classic *alpha* synchronizer on top of an event-driven
+asynchronous message simulation:
+
+* every message (protocol payload, acknowledgement, or safety notification)
+  experiences an independent random link delay;
+* after a node's pulse-*k* protocol messages have all been acknowledged the
+  node is *safe* for pulse *k* and announces this to its neighbours;
+* a node generates its pulse-*k+1* messages only when it is safe for pulse
+  *k* and has heard that all its neighbours are safe for pulse *k*.
+
+The guarantee of the alpha synchronizer is that when a node executes pulse
+*k + 1*, every pulse-*k* message addressed to it has already been delivered;
+consequently the asynchronous execution computes exactly the same outputs as
+the synchronous one, at the cost of the acknowledgement / safety overhead
+measured in :class:`AsyncRunResult`.
+
+Because the protocols in this package detect termination by network
+quiescence (see :mod:`repro.congest.scheduler`), the number of pulses to
+execute is determined up front: either supplied by the caller, or measured by
+first executing the protocol synchronously.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.congest.config import CongestConfig
+from repro.congest.errors import ProtocolError
+from repro.congest.message import Inbound, Message
+from repro.congest.metrics import RunMetrics
+from repro.congest.network import Network
+from repro.congest.node import NodeContext, Protocol
+from repro.congest.scheduler import run_protocol
+
+_PROTO = "proto"
+_ACK = "ack"
+_SAFE = "safe"
+
+
+@dataclass
+class AsyncRunResult:
+    """Outcome of an asynchronous (synchronized) execution.
+
+    Attributes
+    ----------
+    outputs:
+        Per-node outputs, identical to the synchronous outputs when the
+        protocol is deterministic given the node-local randomness.
+    pulses:
+        Number of synchronizer pulses executed (equals the synchronous round
+        count when the pulse budget was derived automatically).
+    protocol_messages / control_messages:
+        Counts of payload messages versus synchronizer overhead (acks and
+        safety notifications).
+    protocol_bits:
+        Total payload bits (control messages are O(1) bits each and are not
+        included).
+    completion_time:
+        The simulated wall-clock time at which the last event was processed;
+        with unit-mean link delays this is Theta(pulses) in expectation.
+    """
+
+    outputs: Dict[int, Any]
+    pulses: int
+    protocol_messages: int
+    control_messages: int
+    protocol_bits: int
+    completion_time: float
+    contexts: Dict[int, NodeContext] = field(default_factory=dict)
+
+
+class _NodeRuntime:
+    """Synchronizer bookkeeping for one node."""
+
+    __slots__ = (
+        "node_id",
+        "pulse",
+        "pending_acks",
+        "safe",
+        "safe_neighbors",
+        "inbox_by_pulse",
+        "done_generating",
+    )
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.pulse = 0
+        self.pending_acks: Dict[int, int] = {}
+        self.safe: Dict[int, bool] = {}
+        self.safe_neighbors: Dict[int, set] = {}
+        self.inbox_by_pulse: Dict[int, List[Inbound]] = {}
+        self.done_generating = False
+
+
+class AlphaSynchronizer:
+    """Execute a synchronous protocol over asynchronous links.
+
+    Parameters
+    ----------
+    network, protocol, config, global_inputs, per_node_inputs:
+        As for :class:`repro.congest.scheduler.SynchronousScheduler`.
+    pulses:
+        Number of synchronizer pulses to execute.  ``None`` (default) first
+        runs the protocol synchronously on the same network to learn the
+        required round count.
+    delay_rng:
+        Random source for link delays.  Delays are uniform on
+        ``[min_delay, max_delay]``.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        protocol: Protocol,
+        config: Optional[CongestConfig] = None,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        pulses: Optional[int] = None,
+        delay_rng: Optional[random.Random] = None,
+        min_delay: float = 0.05,
+        max_delay: float = 1.0,
+    ) -> None:
+        if min_delay <= 0 or max_delay < min_delay:
+            raise ValueError("delays must satisfy 0 < min_delay <= max_delay")
+        self.network = network
+        self.protocol = protocol
+        self.config = config or CongestConfig()
+        self.global_inputs = global_inputs
+        self.per_node_inputs = per_node_inputs
+        self.pulses = pulses
+        self.delay_rng = delay_rng or random.Random(0)
+        self.min_delay = min_delay
+        self.max_delay = max_delay
+
+    # ------------------------------------------------------------------
+    def run(self) -> AsyncRunResult:
+        """Execute the protocol asynchronously and return the result."""
+        pulse_budget = self.pulses
+        if pulse_budget is None:
+            sync_result = run_protocol(
+                self.network,
+                self.protocol,
+                config=self.config,
+                global_inputs=self.global_inputs,
+                per_node_inputs=self.per_node_inputs,
+            )
+            pulse_budget = max(1, sync_result.metrics.rounds)
+
+        contexts = self.network.build_contexts(
+            global_inputs=self.global_inputs,
+            per_node_inputs=self.per_node_inputs,
+            fresh=True,
+        )
+        runtimes = {node_id: _NodeRuntime(node_id) for node_id in contexts}
+
+        self._events: List[Tuple[float, int, Tuple]] = []
+        self._event_seq = 0
+        self._now = 0.0
+        self._protocol_messages = 0
+        self._control_messages = 0
+        self._protocol_bits = 0
+
+        # Pulse 0: on_start plays the role of the first message generation.
+        for node_id, ctx in contexts.items():
+            ctx._advance_round(0)
+            self.protocol.on_start(ctx)
+        for node_id, ctx in contexts.items():
+            self._dispatch_pulse_output(node_id, ctx, runtimes, pulse=0)
+
+        while self._events:
+            when, _, event = heapq.heappop(self._events)
+            self._now = when
+            self._handle_event(event, contexts, runtimes, pulse_budget)
+
+        outputs = {
+            node_id: self.protocol.collect_output(ctx)
+            for node_id, ctx in contexts.items()
+        }
+        return AsyncRunResult(
+            outputs=outputs,
+            pulses=pulse_budget,
+            protocol_messages=self._protocol_messages,
+            control_messages=self._control_messages,
+            protocol_bits=self._protocol_bits,
+            completion_time=self._now,
+            contexts=contexts,
+        )
+
+    # ------------------------------------------------------------------
+    # event machinery
+    # ------------------------------------------------------------------
+    def _schedule(self, event: Tuple) -> None:
+        delay = self.delay_rng.uniform(self.min_delay, self.max_delay)
+        self._event_seq += 1
+        heapq.heappush(self._events, (self._now + delay, self._event_seq, event))
+
+    def _dispatch_pulse_output(
+        self,
+        node_id: int,
+        ctx: NodeContext,
+        runtimes: Dict[int, _NodeRuntime],
+        pulse: int,
+    ) -> None:
+        """Ship the messages a node queued while executing *pulse*."""
+        runtime = runtimes[node_id]
+        outgoing = ctx._collect_outgoing()
+        count = 0
+        for receiver, messages in outgoing.items():
+            if self.config.enforce_congestion and len(messages) > 1:
+                raise ProtocolError(
+                    "node %r queued %d messages for %r in a single pulse"
+                    % (node_id, len(messages), receiver)
+                )
+            for message in messages:
+                count += 1
+                self._protocol_messages += 1
+                self._protocol_bits += message.bits
+                self._schedule((_PROTO, node_id, receiver, pulse, message))
+        runtime.pending_acks[pulse] = count
+        if count == 0:
+            self._mark_safe(node_id, runtimes, pulse)
+
+    def _mark_safe(
+        self, node_id: int, runtimes: Dict[int, _NodeRuntime], pulse: int
+    ) -> None:
+        runtime = runtimes[node_id]
+        if runtime.safe.get(pulse):
+            return
+        runtime.safe[pulse] = True
+        for neighbor in self.network.neighbors(node_id):
+            self._control_messages += 1
+            self._schedule((_SAFE, node_id, neighbor, pulse))
+
+    def _handle_event(
+        self,
+        event: Tuple,
+        contexts: Dict[int, NodeContext],
+        runtimes: Dict[int, _NodeRuntime],
+        pulse_budget: int,
+    ) -> None:
+        kind = event[0]
+        if kind == _PROTO:
+            _, sender, receiver, pulse, message = event
+            runtimes[receiver].inbox_by_pulse.setdefault(pulse, []).append(
+                Inbound(sender=sender, message=message)
+            )
+            self._control_messages += 1
+            self._schedule((_ACK, receiver, sender, pulse))
+            self._try_advance(receiver, contexts, runtimes, pulse_budget)
+        elif kind == _ACK:
+            _, sender, receiver, pulse = event
+            runtime = runtimes[receiver]
+            runtime.pending_acks[pulse] -= 1
+            if runtime.pending_acks[pulse] == 0:
+                self._mark_safe(receiver, runtimes, pulse)
+            self._try_advance(receiver, contexts, runtimes, pulse_budget)
+        elif kind == _SAFE:
+            _, sender, receiver, pulse = event
+            runtimes[receiver].safe_neighbors.setdefault(pulse, set()).add(sender)
+            self._try_advance(receiver, contexts, runtimes, pulse_budget)
+        else:  # pragma: no cover - defensive
+            raise ProtocolError("unknown event kind %r" % (kind,))
+
+    def _try_advance(
+        self,
+        node_id: int,
+        contexts: Dict[int, NodeContext],
+        runtimes: Dict[int, _NodeRuntime],
+        pulse_budget: int,
+    ) -> None:
+        """Execute the node's next pulse if the synchronizer permits it."""
+        runtime = runtimes[node_id]
+        ctx = contexts[node_id]
+        while True:
+            if runtime.done_generating:
+                return
+            current = runtime.pulse
+            next_pulse = current + 1
+            if next_pulse > pulse_budget:
+                runtime.done_generating = True
+                return
+            if not runtime.safe.get(current, False):
+                return
+            neighbors = set(self.network.neighbors(node_id))
+            if runtime.safe_neighbors.get(current, set()) < neighbors:
+                return
+            inbox = runtime.inbox_by_pulse.pop(current, [])
+            ctx._advance_round(next_pulse)
+            if not self.protocol.finished(ctx):
+                self.protocol.on_round(ctx, inbox)
+            runtime.pulse = next_pulse
+            self._dispatch_pulse_output(node_id, ctx, runtimes, pulse=next_pulse)

@@ -1,0 +1,53 @@
+"""The paper's primary contribution.
+
+``repro.core`` contains everything specific to the near-clique discovery
+problem:
+
+* :mod:`repro.core.near_clique` — Definition 1 (ε-near clique via ordered
+  pairs), the operators :math:`K_\\epsilon(X)` and :math:`T_\\epsilon(X)` of
+  Eqs. (1)–(2), the core set :math:`C` of Lemma 5.4, representativeness from
+  the proof of Lemma 5.6, and canonical subset indexing shared by the
+  distributed and centralized implementations.
+* :mod:`repro.core.params` — algorithm parameters and the sample probability
+  recommended by Theorem 5.7.
+* :mod:`repro.core.reference` — a centralized implementation of exactly the
+  computation the distributed algorithm performs; it is the correctness
+  oracle for the distributed runner.
+* :mod:`repro.core.phases` / :mod:`repro.core.dist_near_clique` — the
+  CONGEST-model implementation of Algorithm ``DistNearClique``.
+* :mod:`repro.core.boosting` — the Section 4.1 wrapper that amplifies the
+  success probability to :math:`1 - q`.
+* :mod:`repro.core.result` — the result record shared by all runners.
+"""
+
+from repro.core.boosting import BoostedNearCliqueRunner
+from repro.core.dist_near_clique import DistNearCliqueRunner
+from repro.core.near_clique import (
+    core_set,
+    density,
+    is_near_clique,
+    is_representative,
+    k_eps,
+    near_clique_defect,
+    t_eps,
+)
+from repro.core.params import AlgorithmParameters, recommended_sample_probability
+from repro.core.reference import CentralizedNearCliqueFinder
+from repro.core.result import CandidateSet, NearCliqueResult
+
+__all__ = [
+    "BoostedNearCliqueRunner",
+    "DistNearCliqueRunner",
+    "CentralizedNearCliqueFinder",
+    "AlgorithmParameters",
+    "recommended_sample_probability",
+    "NearCliqueResult",
+    "CandidateSet",
+    "density",
+    "near_clique_defect",
+    "is_near_clique",
+    "k_eps",
+    "t_eps",
+    "core_set",
+    "is_representative",
+]

@@ -1,0 +1,308 @@
+"""The distributed runner for Algorithm ``DistNearClique``.
+
+:class:`DistNearCliqueRunner` executes the full algorithm of Section 4 on a
+:class:`repro.congest.network.Network` built from the input graph: the
+sampling stage, the exploration stage and the decision stage, as the sequence
+of CONGEST phases defined in :mod:`repro.core.phases` (see that module's
+table mapping phases to the paper's numbered steps).
+
+The runner owns everything that is *not* part of the distributed computation
+proper:
+
+* building the network and seeding per-node randomness;
+* the deterministic running-time guard of Section 4.1 (abort when the
+  realised sample exceeds ``max_sample_size`` — the round and local-work cost
+  of the exploration stage is exponential in |S|, Lemma 5.1);
+* accounting (merging the per-phase round/message metrics);
+* harvesting the per-node outputs into a :class:`NearCliqueResult`, including
+  the per-component candidate sets used by the experiments.
+
+Given the same sample, the runner's output labels are identical to those of
+:class:`repro.core.reference.CentralizedNearCliqueFinder` — this equivalence
+is asserted by the integration tests and is the algorithm's correctness
+argument in executable form.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.congest.config import CongestConfig
+from repro.congest.errors import RoundLimitExceeded
+from repro.congest.metrics import RunMetrics
+from repro.congest.network import Network
+from repro.congest.node import Protocol
+from repro.congest.scheduler import run_protocol
+from repro.core import phases
+from repro.core.params import AlgorithmParameters
+from repro.core.result import CandidateSet, NearCliqueResult
+from repro.core import near_clique
+from repro.primitives.bfs_tree import (
+    KEY_PARENT,
+    KEY_ROOT,
+    MinIdBFSTreeProtocol,
+    ParentNotificationProtocol,
+)
+from repro.primitives.broadcast import TreeBroadcastProtocol
+from repro.primitives.convergecast import KEY_COLLECTED, ConvergecastCollectProtocol
+
+
+class DistNearCliqueRunner:
+    """Run ``DistNearClique`` on a graph and collect the result.
+
+    Parameters
+    ----------
+    parameters:
+        A fully-specified :class:`AlgorithmParameters`.  Alternatively pass
+        ``epsilon`` and ``sample_probability`` (plus any other parameter
+        field) as keyword arguments and the record is built for you.
+    rng:
+        Source of randomness for the per-node coins (sampling stage) and any
+        optional estimation sampling.  Defaults to a fresh ``random.Random``.
+    config:
+        CONGEST simulator configuration.  By default the runner enforces the
+        one-message-per-edge rule and a ``12·log₂ n``-bit message budget
+        (checked, not just measured).
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[AlgorithmParameters] = None,
+        *,
+        epsilon: Optional[float] = None,
+        sample_probability: Optional[float] = None,
+        max_sample_size: Optional[int] = 18,
+        min_output_size: int = 0,
+        use_step4f_sampling: bool = False,
+        step4f_sample_size: int = 32,
+        rng: Optional[random.Random] = None,
+        config: Optional[CongestConfig] = None,
+    ) -> None:
+        if parameters is None:
+            if epsilon is None or sample_probability is None:
+                raise ValueError(
+                    "provide either an AlgorithmParameters record or both "
+                    "epsilon and sample_probability"
+                )
+            parameters = AlgorithmParameters(
+                epsilon=epsilon,
+                sample_probability=sample_probability,
+                max_sample_size=max_sample_size,
+                min_output_size=min_output_size,
+                use_step4f_sampling=use_step4f_sampling,
+                step4f_sample_size=step4f_sample_size,
+            )
+        self.parameters = parameters
+        self.rng = rng or random.Random()
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: nx.Graph,
+        sample: Optional[Iterable[int]] = None,
+    ) -> NearCliqueResult:
+        """Execute the algorithm once.
+
+        Parameters
+        ----------
+        graph:
+            The communication graph.  Integer node labels are used as the
+            O(log n)-bit identifiers; other labels are relabelled internally
+            and translated back in the result.
+        sample:
+            Optional predetermined sample S (in the graph's original labels).
+            When omitted — the normal mode — every node flips its own biased
+            coin in the sampling phase.
+
+        Returns
+        -------
+        NearCliqueResult
+            Labels, candidate sets, the realised sample, and the merged
+            round/message metrics of the whole execution.
+        """
+        params = self.parameters
+        network = Network(graph, seed=self.rng.getrandbits(48))
+        config = self.config or CongestConfig().with_log_budget(network.n)
+
+        global_inputs = {
+            phases.GLOBAL_EPSILON: params.epsilon,
+            phases.GLOBAL_SAMPLE_PROBABILITY: params.sample_probability,
+            phases.GLOBAL_MIN_OUTPUT_SIZE: params.min_output_size,
+            phases.GLOBAL_STEP4F_SAMPLING: params.use_step4f_sampling,
+            phases.GLOBAL_STEP4F_SAMPLE_SIZE: params.step4f_sample_size,
+        }
+        per_node_inputs = None
+        if sample is not None:
+            sample_ids = {network.id_of[label] for label in sample}
+            per_node_inputs = {
+                node_id: {phases.KEY_FORCED_SAMPLE: node_id in sample_ids}
+                for node_id in network.node_ids
+            }
+
+        metrics = RunMetrics()
+
+        # --- sampling stage -------------------------------------------------
+        sampling = phases.SamplingPhase()
+        result = run_protocol(
+            network,
+            sampling,
+            config=config,
+            global_inputs=global_inputs,
+            per_node_inputs=per_node_inputs,
+        )
+        metrics.merge(result.metrics, label=sampling.name)
+        sample_ids = {
+            node_id for node_id, in_sample in result.outputs.items() if in_sample
+        }
+
+        if (
+            params.max_sample_size is not None
+            and len(sample_ids) > params.max_sample_size
+        ):
+            return self._aborted_result(
+                network,
+                sample_ids,
+                metrics,
+                "sample size %d exceeds the deterministic bound %d"
+                % (len(sample_ids), params.max_sample_size),
+            )
+
+        # --- exploration + decision stages ----------------------------------
+        phase_sequence: List[Protocol] = [
+            MinIdBFSTreeProtocol(),
+            ParentNotificationProtocol(),
+            ConvergecastCollectProtocol(),
+            TreeBroadcastProtocol(
+                input_key=KEY_COLLECTED, output_key=phases.KEY_COMP_BCAST
+            ),
+            phases.CompDisseminationPhase(),
+            phases.LocalSubsetPhase(),
+            phases.UpAggregationPhase(
+                membership_key=phases.KEY_K_MEMBERSHIP,
+                result_key=phases.KEY_K_ROOT_SIZES,
+                label="nc-k-aggregation",
+            ),
+            phases.DownBroadcastPhase(
+                items_fn=phases.k_size_items,
+                store_fn=phases.store_k_size,
+                label="nc-k-size-broadcast",
+            ),
+            phases.KAnnouncePhase(),
+            phases.UpAggregationPhase(
+                membership_key=phases.KEY_T_MEMBERSHIP,
+                result_key=phases.KEY_T_ROOT_SIZES,
+                pre_start=phases.build_t_membership,
+                root_finalize=phases.select_best_subset,
+                label="nc-t-aggregation",
+            ),
+            phases.DownBroadcastPhase(
+                items_fn=phases.best_items,
+                store_fn=phases.store_best,
+                label="nc-best-broadcast",
+            ),
+            phases.VotePhase(),
+            phases.FinalLabelPhase(),
+        ]
+
+        try:
+            for phase in phase_sequence:
+                phase_result = run_protocol(
+                    network, phase, config=config, reuse_contexts=True
+                )
+                metrics.merge(phase_result.metrics, label=phase.name)
+        except RoundLimitExceeded as exc:
+            return self._aborted_result(
+                network, sample_ids, metrics, "round limit exceeded: %s" % exc
+            )
+
+        return self._harvest(network, sample_ids, metrics)
+
+    # ------------------------------------------------------------------
+    def _aborted_result(
+        self,
+        network: Network,
+        sample_ids: Set[int],
+        metrics: RunMetrics,
+        reason: str,
+    ) -> NearCliqueResult:
+        labels = {network.label_of[v]: None for v in network.node_ids}
+        return NearCliqueResult(
+            labels=labels,
+            sample=frozenset(network.label_of[v] for v in sample_ids),
+            epsilon=self.parameters.epsilon,
+            sample_probability=self.parameters.sample_probability,
+            aborted=True,
+            abort_reason=reason,
+            metrics=metrics,
+        )
+
+    def _harvest(
+        self,
+        network: Network,
+        sample_ids: Set[int],
+        metrics: RunMetrics,
+    ) -> NearCliqueResult:
+        """Assemble the :class:`NearCliqueResult` from the final node states."""
+        contexts = network.contexts
+        translate = network.label_of
+
+        labels: Dict[int, Optional[int]] = {}
+        for node_id, ctx in contexts.items():
+            label = ctx.output
+            labels[translate[node_id]] = None if label is None else translate[label]
+
+        # candidate sets, one per component, harvested from the roots
+        t_members_by_root: Dict[Tuple[int, int], Set[int]] = {}
+        for node_id, ctx in contexts.items():
+            t_membership: Dict[int, Set[int]] = ctx.state.get(
+                phases.KEY_T_MEMBERSHIP, {}
+            )
+            for root, indices in t_membership.items():
+                for index in indices:
+                    t_members_by_root.setdefault((root, index), set()).add(node_id)
+
+        candidates: List[CandidateSet] = []
+        components: List[FrozenSet[int]] = []
+        for node_id in sorted(sample_ids):
+            ctx = contexts[node_id]
+            if ctx.state.get(KEY_PARENT) is not None or not ctx.state.get(
+                phases.KEY_IN_SAMPLE
+            ):
+                continue
+            root = ctx.state[KEY_ROOT]
+            members = ctx.state.get(phases.KEY_COMP_MEMBERS, (node_id,))
+            best_index, _best_size = ctx.state.get(phases.KEY_BEST, (0, 0))
+            survived = bool(ctx.state.get(phases.KEY_SURVIVED, False))
+            t_set = frozenset(
+                translate[v] for v in t_members_by_root.get((root, best_index), set())
+            )
+            subset = (
+                near_clique.subset_from_index(tuple(members), best_index)
+                if best_index
+                else frozenset()
+            )
+            candidates.append(
+                CandidateSet(
+                    component_root=translate[root],
+                    component_members=frozenset(translate[v] for v in members),
+                    subset_index=best_index,
+                    subset=frozenset(translate[v] for v in subset),
+                    members=t_set,
+                    survived=survived,
+                )
+            )
+            components.append(frozenset(translate[v] for v in members))
+
+        return NearCliqueResult(
+            labels=labels,
+            candidates=candidates,
+            sample=frozenset(translate[v] for v in sample_ids),
+            components=tuple(components),
+            epsilon=self.parameters.epsilon,
+            sample_probability=self.parameters.sample_probability,
+            metrics=metrics,
+        )

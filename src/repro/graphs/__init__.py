@@ -1,0 +1,18 @@
+"""Graph generators, analysis utilities and IO.
+
+Inputs for every experiment in DESIGN.md are produced here:
+
+* :mod:`repro.graphs.generators` — planted ε-near cliques and planted
+  cliques in random backgrounds (experiments E1–E3, E5–E7, E9–E11), the
+  Claim 1 / Figure 1 counterexample family that defeats the shingles
+  heuristic (E4), and the Section 6 path-of-cliques impossibility graph
+  (E8).
+* :mod:`repro.graphs.analysis` — density and near-clique verification,
+  degree / component / diameter summaries used when validating outputs.
+* :mod:`repro.graphs.io` — simple edge-list persistence so experiment
+  workloads can be saved and replayed.
+"""
+
+from repro.graphs import analysis, generators, io
+
+__all__ = ["generators", "analysis", "io"]

@@ -1,0 +1,132 @@
+"""Graph analysis and verification utilities.
+
+Small, dependency-light helpers used when validating experiment outputs:
+density reports, near-clique certificates, component and degree summaries.
+All density-related computations delegate to :mod:`repro.core.near_clique`
+so the ordered-pair convention of Definition 1 is used everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core import near_clique
+
+
+@dataclass(frozen=True)
+class SetDensityReport:
+    """Certificate describing how close a node set is to a clique."""
+
+    size: int
+    ordered_pairs_present: int
+    ordered_pairs_total: int
+    density: float
+    defect: float
+
+    def is_near_clique(self, epsilon: float) -> bool:
+        return self.defect <= epsilon + 1e-9
+
+
+def density_report(graph: nx.Graph, nodes: Iterable[int]) -> SetDensityReport:
+    """Build a :class:`SetDensityReport` for *nodes* in *graph*."""
+    node_set = set(nodes)
+    size = len(node_set)
+    total = size * (size - 1)
+    present = near_clique.ordered_pair_edge_count(graph, node_set)
+    dens = 1.0 if size <= 1 else present / total
+    return SetDensityReport(
+        size=size,
+        ordered_pairs_present=present,
+        ordered_pairs_total=total,
+        density=dens,
+        defect=1.0 - dens,
+    )
+
+
+def missing_pairs(graph: nx.Graph, nodes: Iterable[int]) -> List[Tuple[int, int]]:
+    """Unordered pairs of *nodes* that are not joined by an edge."""
+    members = sorted(set(nodes))
+    absent = []
+    for i, u in enumerate(members):
+        neighbors = set(graph[u])
+        for v in members[i + 1 :]:
+            if v not in neighbors:
+                absent.append((u, v))
+    return absent
+
+
+def degree_summary(graph: nx.Graph) -> Dict[str, float]:
+    """Minimum / mean / maximum degree of the graph."""
+    degrees = [d for _, d in graph.degree()]
+    if not degrees:
+        return {"min": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "min": float(min(degrees)),
+        "mean": sum(degrees) / float(len(degrees)),
+        "max": float(max(degrees)),
+    }
+
+
+def component_sizes(graph: nx.Graph, nodes: Optional[Iterable[int]] = None) -> List[int]:
+    """Sizes of the connected components of *graph* (or of an induced subgraph)."""
+    target = graph if nodes is None else graph.subgraph(set(nodes))
+    return sorted((len(c) for c in nx.connected_components(target)), reverse=True)
+
+
+def induced_diameter(graph: nx.Graph, nodes: Iterable[int]) -> Optional[int]:
+    """Diameter of the subgraph induced by *nodes* (None when disconnected)."""
+    induced = graph.subgraph(set(nodes))
+    if induced.number_of_nodes() == 0:
+        return None
+    if not nx.is_connected(induced):
+        return None
+    return nx.diameter(induced)
+
+
+def densest_known_subsets(
+    graph: nx.Graph, candidate_sets: Sequence[Iterable[int]]
+) -> List[SetDensityReport]:
+    """Density reports for a list of candidate sets, densest first."""
+    reports = [density_report(graph, nodes) for nodes in candidate_sets]
+    reports.sort(key=lambda report: (-report.density, -report.size))
+    return reports
+
+
+def greedy_near_clique_certificate(
+    graph: nx.Graph, nodes: Iterable[int], epsilon: float
+) -> Tuple[bool, SetDensityReport]:
+    """Convenience wrapper: is the set an ε-near clique, plus its report."""
+    report = density_report(graph, nodes)
+    return report.is_near_clique(epsilon), report
+
+
+def distance_at_most(
+    graph: nx.Graph, source: int, radius: int
+) -> FrozenSet[int]:
+    """All nodes within *radius* hops of *source* (the T-round local view).
+
+    Used by the impossibility experiment (E8): a T-round distributed
+    algorithm's output at a node is a function of this ball, so two scenarios
+    that agree on the ball are indistinguishable to that node.
+    """
+    lengths = nx.single_source_shortest_path_length(graph, source, cutoff=radius)
+    return frozenset(lengths)
+
+
+def local_view_signature(
+    graph: nx.Graph, source: int, radius: int
+) -> FrozenSet[Tuple[int, int]]:
+    """Canonical signature of the *radius*-hop view of *source*.
+
+    The signature is the edge set of the induced ball; two executions in
+    which a node has identical signatures (and identical local inputs) must
+    produce identical outputs at that node in at most *radius* rounds.
+    """
+    ball = distance_at_most(graph, source, radius)
+    induced = graph.subgraph(ball)
+    return frozenset(
+        (min(u, v), max(u, v)) for u, v in induced.edges()
+    )

@@ -1,0 +1,83 @@
+"""Edge-list persistence for experiment workloads.
+
+A deliberately tiny format: one ``u v`` pair per line, ``#``-prefixed
+comments, plus an optional ``# nodes: n`` header so isolated vertices
+survive a round trip.  Planted structures are stored next to the graph as a
+comment block, so a saved workload is self-describing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+import networkx as nx
+
+
+def write_edge_list(
+    graph: nx.Graph,
+    path: str,
+    planted: Optional[Iterable[int]] = None,
+    comment: Optional[str] = None,
+) -> None:
+    """Write *graph* (and optionally a planted set) to *path*."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory and not os.path.isdir(directory):
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        if comment:
+            for line in comment.splitlines():
+                handle.write("# %s\n" % line)
+        handle.write("# nodes: %d\n" % graph.number_of_nodes())
+        handle.write(
+            "# node-ids: %s\n" % " ".join(str(v) for v in sorted(graph.nodes()))
+        )
+        if planted is not None:
+            handle.write(
+                "# planted: %s\n" % " ".join(str(v) for v in sorted(planted))
+            )
+        for u, v in sorted((min(a, b), max(a, b)) for a, b in graph.edges()):
+            handle.write("%d %d\n" % (u, v))
+
+
+def read_edge_list(path: str) -> Tuple[nx.Graph, Optional[FrozenSet[int]]]:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Returns the graph and the planted set (``None`` when the file does not
+    record one).
+    """
+    graph = nx.Graph()
+    planted: Optional[FrozenSet[int]] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line[1:].strip()
+                if body.startswith("node-ids:"):
+                    ids = body[len("node-ids:") :].split()
+                    graph.add_nodes_from(int(v) for v in ids)
+                elif body.startswith("planted:"):
+                    members = body[len("planted:") :].split()
+                    planted = frozenset(int(v) for v in members)
+                continue
+            u_text, v_text = line.split()
+            graph.add_edge(int(u_text), int(v_text))
+    return graph, planted
+
+
+def save_workload(
+    graph: nx.Graph,
+    directory: str,
+    name: str,
+    planted: Optional[Iterable[int]] = None,
+    metadata: Optional[Dict[str, str]] = None,
+) -> str:
+    """Save a named workload under *directory*; return the file path."""
+    comment_lines = ["workload: %s" % name]
+    if metadata:
+        comment_lines.extend("%s: %s" % (key, value) for key, value in sorted(metadata.items()))
+    path = os.path.join(directory, "%s.edges" % name)
+    write_edge_list(graph, path, planted=planted, comment="\n".join(comment_lines))
+    return path

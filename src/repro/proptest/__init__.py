@@ -1,0 +1,32 @@
+"""Property testing in the dense-graph model.
+
+The paper's methodology is to adapt the Goldreich–Goldwasser–Ron (GGR)
+ρ-clique property tester to the distributed setting (Section 1 and the
+discussion of Section 6).  This package implements the centralized side of
+that story:
+
+* :mod:`repro.proptest.sampling` — the adjacency-query oracle with query
+  accounting (the resource property testers are measured by);
+* :mod:`repro.proptest.ggr_tester` — a ρ-clique tester in the GGR style plus
+  the "approximate find" procedure that extracts an ε-near clique of size
+  ρn when the tester accepts;
+* :mod:`repro.proptest.tolerant` — the tolerant-testing wrapper
+  ((ε₁, ε₂)-tolerance, Parnas–Ron–Rubinfeld), reproducing the paper's
+  observation that its construction is (ε³, ε)-tolerant.
+"""
+
+from repro.proptest.ggr_tester import (
+    ApproximateFindResult,
+    GGRCliqueTester,
+    TesterVerdict,
+)
+from repro.proptest.sampling import AdjacencyOracle
+from repro.proptest.tolerant import TolerantNearCliqueTester
+
+__all__ = [
+    "AdjacencyOracle",
+    "GGRCliqueTester",
+    "TesterVerdict",
+    "ApproximateFindResult",
+    "TolerantNearCliqueTester",
+]

@@ -1,0 +1,265 @@
+"""Tests for the theory bounds, statistics helpers, tables and experiment harness."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import experiment, stats, tables, theory
+from repro.core.result import NearCliqueResult
+from repro.graphs import generators
+
+
+class TestTheoremBounds:
+    def test_bounds_object(self):
+        bounds = theory.TheoremBounds(
+            epsilon=0.1, delta=0.5, n=400, sample_probability=0.02, planted_size=200
+        )
+        # For |D| = 200 the size bound (70 - 100) is negative, hence clipped.
+        assert bounds.output_size_bound == 0.0
+        assert bounds.output_defect_bound == pytest.approx((0.1 / 0.5) / 0.35)
+        assert bounds.round_bound == pytest.approx(2 ** 16)
+        large = theory.TheoremBounds(
+            epsilon=0.1, delta=0.5, n=2000, sample_probability=0.005, planted_size=1000
+        )
+        assert large.output_size_bound == pytest.approx(0.35 * 1000 - 100)
+
+    def test_success_probability_monotone_in_pn(self):
+        low = theory.TheoremBounds(0.2, 0.5, 100, 0.05, 50)
+        high = theory.TheoremBounds(0.2, 0.5, 100, 0.5, 50)
+        assert high.success_probability_lower_bound(
+            constant=500
+        ) >= low.success_probability_lower_bound(constant=500)
+
+    def test_success_probability_clipped(self):
+        bounds = theory.TheoremBounds(0.2, 0.5, 10, 0.01, 5)
+        value = bounds.success_probability_lower_bound()
+        assert 0.0 <= value <= 1.0
+
+    def test_theorem_2_1_probability_shape(self):
+        p_small_eps = theory.theorem_2_1_sample_probability(10 ** 6, 0.1, 0.5)
+        p_large_eps = theory.theorem_2_1_sample_probability(10 ** 6, 0.3, 0.5)
+        assert p_small_eps > p_large_eps
+
+
+class TestLemmaBounds:
+    def test_lemma_5_1_monotone_in_sample(self):
+        assert theory.lemma_5_1_round_bound(8) > theory.lemma_5_1_round_bound(4)
+
+    def test_lemma_5_2_tail_decreases_with_pn(self):
+        assert theory.lemma_5_2_sample_tail(100, 0.2) < theory.lemma_5_2_sample_tail(
+            100, 0.05
+        )
+
+    def test_lemma_5_3_and_5_4_delegate(self):
+        assert theory.lemma_5_3_defect_bound(100, 50, 0.1) == pytest.approx(0.2)
+        assert theory.lemma_5_4_core_bound(100, 0.2) == pytest.approx(55.0)
+
+
+class TestCorollaries:
+    def test_corollary_2_2_independent_of_n(self):
+        value = theory.corollary_2_2_round_prediction(0.25, 0.5)
+        assert value > 1.0  # it is a bound on rounds, not a probability
+
+    def test_corollary_2_3_clique_size_sublinear_but_large(self):
+        n = 10 ** 4
+        size = theory.corollary_2_3_clique_size(n, alpha=0.5)
+        assert 0.1 * n < size < n
+
+    def test_corollary_2_3_epsilon_shrinks_with_n(self):
+        assert theory.corollary_2_3_epsilon(10 ** 8) <= theory.corollary_2_3_epsilon(100)
+
+    def test_corollary_2_3_small_n(self):
+        assert theory.corollary_2_3_clique_size(2, 0.5) == 2
+
+
+class TestBoostingAndClaimHelpers:
+    def test_boosting_repetitions_matches_formula(self):
+        assert theory.boosting_repetitions(0.01, 0.5) == 7
+        assert theory.boosted_failure_probability(0.5, 7) == pytest.approx(0.5 ** 7)
+
+    def test_claim_1_thresholds(self):
+        # min{(1-δ)/(1+δ), 1/9} = 1/9 for δ = 0.5.
+        assert theory.claim_1_epsilon_threshold(0.5) == pytest.approx(1.0 / 9.0)
+        assert theory.claim_1_epsilon_threshold(0.95) == pytest.approx(1.0 / 39.0)
+        assert theory.claim_1_case1_density(0.5) == pytest.approx(2.0 / 3.0)
+        assert theory.claim_1_required_size(100, 0.5, 0.1) == pytest.approx(45.0)
+
+
+class TestStats:
+    def test_mean_std_quantile(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert stats.mean(values) == 2.5
+        assert stats.std(values) == pytest.approx(math.sqrt(1.25))
+        assert stats.quantile(values, 0.5) == 2.5
+        assert stats.quantile([], 0.5) == 0.0
+        assert stats.mean([]) == 0.0
+        assert stats.std([7.0]) == 0.0
+
+    def test_geometric_mean(self):
+        assert stats.geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert stats.geometric_mean([1.0, 0.0]) == 0.0
+        assert stats.geometric_mean([]) == 0.0
+
+    def test_wilson_interval_contains_point_estimate(self):
+        interval = stats.wilson_interval(7, 10)
+        assert interval.lower <= interval.rate <= interval.upper
+        assert 0.0 <= interval.lower and interval.upper <= 1.0
+
+    def test_wilson_interval_zero_trials(self):
+        interval = stats.wilson_interval(0, 0)
+        assert (interval.lower, interval.upper) == (0.0, 1.0)
+
+    def test_wilson_interval_validation(self):
+        with pytest.raises(ValueError):
+            stats.wilson_interval(5, 3)
+
+    def test_success_rate_from_bools(self):
+        rate = stats.success_rate([True, True, False, True])
+        assert rate.successes == 3 and rate.trials == 4
+
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=200))
+    def test_wilson_interval_always_valid(self, a, b):
+        successes, trials = min(a, b), max(a, b)
+        interval = stats.wilson_interval(successes, trials)
+        assert 0.0 <= interval.lower <= interval.upper <= 1.0
+
+    def test_linear_regression_slope(self):
+        xs = [1.0, 2.0, 3.0, 4.0]
+        ys = [2.0, 4.0, 6.0, 8.0]
+        assert stats.linear_regression_slope(xs, ys) == pytest.approx(2.0)
+        assert stats.linear_regression_slope([1.0], [2.0]) == 0.0
+        assert stats.linear_regression_slope([1.0, 1.0], [2.0, 3.0]) == 0.0
+
+    def test_pearson_correlation(self):
+        xs = [1.0, 2.0, 3.0]
+        assert stats.pearson_correlation(xs, [2.0, 4.0, 6.0]) == pytest.approx(1.0)
+        assert stats.pearson_correlation(xs, [6.0, 4.0, 2.0]) == pytest.approx(-1.0)
+        assert stats.pearson_correlation(xs, [1.0, 1.0, 1.0]) == 0.0
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = tables.render_table(["name", "value"], [["a", 1], ["bb", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+
+    def test_render_table_title_and_mismatch(self):
+        text = tables.render_table(["x"], [[1]], title="T")
+        assert text.startswith("T")
+        with pytest.raises(ValueError):
+            tables.render_table(["x"], [[1, 2]])
+
+    def test_format_value(self):
+        assert tables.format_value(True) == "yes"
+        assert tables.format_value(0.0) == "0"
+        assert tables.format_value(0.00001) == "1e-05"
+        assert tables.format_value("abc") == "abc"
+
+    def test_markdown_table(self):
+        text = tables.markdown_table(["a"], [[1], [2]])
+        assert text.splitlines()[0] == "| a |"
+        assert len(text.splitlines()) == 4
+
+    def test_print_table_returns_text(self, capsys):
+        text = tables.print_table(["a"], [[1]])
+        captured = capsys.readouterr()
+        assert "a" in captured.out
+        assert "a" in text
+
+
+class TestExperimentHarness:
+    def test_run_planted_trials_centralized(self):
+        aggregate = experiment.run_planted_trials(
+            n=50, epsilon=0.2, delta=0.5, trials=4, seed=3
+        )
+        assert aggregate.trials == 4
+        assert 0.0 <= aggregate.success.rate <= 1.0
+        assert aggregate.mean_of("recall") > 0.5
+
+    def test_run_planted_trials_distributed_records_rounds(self):
+        aggregate = experiment.run_planted_trials(
+            n=40,
+            epsilon=0.2,
+            delta=0.5,
+            trials=2,
+            seed=4,
+            engine="distributed",
+            expected_sample=5.0,
+        )
+        assert aggregate.mean_of("rounds") > 0
+        assert aggregate.max_of("max_message_bits") > 0
+
+    def test_run_planted_trials_boosted(self):
+        aggregate = experiment.run_planted_trials(
+            n=40,
+            epsilon=0.2,
+            delta=0.5,
+            trials=2,
+            seed=5,
+            engine="boosted",
+            boosting_repetitions=2,
+        )
+        assert aggregate.trials == 2
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            experiment.run_planted_trials(
+                n=30, epsilon=0.2, delta=0.5, trials=1, engine="quantum"
+            )
+
+    def test_run_on_graph(self):
+        graph, planted = generators.planted_near_clique(40, 0.5, 0.0, 0.05, seed=2)
+        aggregate = experiment.run_on_graph(
+            graph, planted.members, epsilon=0.2, delta=0.5, trials=3, seed=1
+        )
+        assert aggregate.trials == 3
+
+    def test_sweep_pairs_points_with_results(self):
+        points = [
+            {"n": 30, "epsilon": 0.2, "delta": 0.5, "trials": 1, "seed": 1},
+            {"n": 40, "epsilon": 0.2, "delta": 0.5, "trials": 1, "seed": 2},
+        ]
+        results = experiment.sweep(points, experiment.run_planted_trials)
+        assert len(results) == 2
+        assert results[0][0]["n"] == 30
+
+    def test_theorem_success_fallback_criterion(self):
+        graph, planted = generators.planted_near_clique(40, 0.5, 0.0, 0.02, seed=6)
+        labels = {v: (0 if v in planted.members else None) for v in graph.nodes()}
+        result = NearCliqueResult(labels=labels, epsilon=0.2)
+        assert experiment.theorem_success(result, graph, planted.members, delta=0.5)
+        empty = NearCliqueResult(labels={v: None for v in graph.nodes()}, epsilon=0.2)
+        assert not experiment.theorem_success(empty, graph, planted.members, delta=0.5)
+
+    def test_aggregate_helpers(self):
+        aggregate = experiment.TrialAggregate(
+            outcomes=[
+                experiment.TrialOutcome(
+                    success=True,
+                    recall=1.0,
+                    output_size=10,
+                    output_defect=0.0,
+                    sample_size=3,
+                    aborted=False,
+                    rounds=5,
+                ),
+                experiment.TrialOutcome(
+                    success=False,
+                    recall=0.0,
+                    output_size=0,
+                    output_defect=1.0,
+                    sample_size=20,
+                    aborted=True,
+                    rounds=1,
+                ),
+            ]
+        )
+        assert aggregate.success.successes == 1
+        assert aggregate.abort_rate == 0.5
+        assert aggregate.mean_of("rounds") == 3.0
+        assert aggregate.max_of("sample_size") == 20.0
+        assert aggregate.quantile_of("rounds", 1.0) == 5.0

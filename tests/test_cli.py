@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import cli
+from repro.graphs import io
+
+
+class TestGenerateCommand:
+    @pytest.mark.parametrize("family", ["planted", "figure1", "path-of-cliques", "web"])
+    def test_generates_every_family(self, tmp_path, family):
+        path = os.path.join(str(tmp_path), "%s.edges" % family)
+        exit_code = cli.main(
+            ["generate", path, "--family", family, "--n", "60", "--seed", "3"]
+        )
+        assert exit_code == 0
+        graph, planted = io.read_edge_list(path)
+        assert graph.number_of_nodes() >= 30
+        assert planted
+
+
+class TestFindCommand:
+    def test_distributed_engine_on_generated_workload(self, capsys):
+        exit_code = cli.main(
+            [
+                "find",
+                "--n",
+                "60",
+                "--epsilon",
+                "0.2",
+                "--engine",
+                "distributed",
+                "--expected-sample",
+                "6",
+                "--seed",
+                "5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Discovered near-cliques" in captured.out
+        assert "max message bits" in captured.out
+
+    def test_centralized_engine_on_saved_graph(self, tmp_path, capsys):
+        path = os.path.join(str(tmp_path), "workload.edges")
+        cli.main(["generate", path, "--family", "planted", "--n", "50", "--seed", "1"])
+        exit_code = cli.main(
+            ["find", "--graph", path, "--engine", "centralized", "--epsilon", "0.2", "--seed", "2"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "recall of planted set" in captured.out
+
+    def test_boosted_engine(self, capsys):
+        exit_code = cli.main(
+            [
+                "find",
+                "--n",
+                "50",
+                "--engine",
+                "boosted",
+                "--repetitions",
+                "3",
+                "--expected-sample",
+                "6",
+                "--seed",
+                "7",
+            ]
+        )
+        assert exit_code == 0
+        assert "Run summary" in capsys.readouterr().out
+
+    def test_abort_reported_as_nonzero_exit(self, capsys):
+        exit_code = cli.main(
+            [
+                "find",
+                "--n",
+                "40",
+                "--expected-sample",
+                "40",
+                "--max-sample",
+                "3",
+                "--seed",
+                "1",
+            ]
+        )
+        assert exit_code == 1
+        assert "aborted" in capsys.readouterr().out.lower()
+
+
+class TestVerifyCommand:
+    def test_verify_planted_set_passes(self, tmp_path, capsys):
+        path = os.path.join(str(tmp_path), "workload.edges")
+        cli.main(
+            ["generate", path, "--family", "planted", "--n", "50", "--epsilon", "0.01", "--seed", "2"]
+        )
+        exit_code = cli.main(["verify", path, "--epsilon", "0.05"])
+        assert exit_code == 0
+        assert "yes" in capsys.readouterr().out
+
+    def test_verify_explicit_sparse_set_fails(self, tmp_path, capsys):
+        path = os.path.join(str(tmp_path), "workload.edges")
+        cli.main(["generate", path, "--family", "planted", "--n", "50", "--seed", "2"])
+        exit_code = cli.main(
+            ["verify", path, "--epsilon", "0.0", "--nodes", "0,1,2,48,49"]
+        )
+        assert exit_code == 1
+
+    def test_verify_without_nodes_or_planted_errors(self, tmp_path):
+        import networkx as nx
+
+        path = os.path.join(str(tmp_path), "plain.edges")
+        io.write_edge_list(nx.path_graph(4), path)
+        assert cli.main(["verify", path, "--epsilon", "0.1"]) == 2

@@ -1,0 +1,150 @@
+"""Unit tests for CONGEST messages and bit accounting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.congest.message import (
+    BOOL_BITS,
+    KIND_TAG_BITS,
+    Inbound,
+    Message,
+    estimate_payload_bits,
+    id_bits_for,
+    make_counter_message,
+    make_id_message,
+)
+
+
+class TestIdBits:
+    def test_two_nodes_need_one_bit(self):
+        assert id_bits_for(2) == 1
+
+    def test_power_of_two(self):
+        assert id_bits_for(1024) == 10
+
+    def test_non_power_of_two_rounds_up(self):
+        assert id_bits_for(1000) == 10
+        assert id_bits_for(1025) == 11
+
+    def test_single_node_still_positive(self):
+        assert id_bits_for(1) >= 1
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            id_bits_for(0)
+        with pytest.raises(ValueError):
+            id_bits_for(-5)
+
+    @given(st.integers(min_value=2, max_value=10 ** 9))
+    def test_matches_ceil_log2(self, n):
+        assert id_bits_for(n) == max(1, math.ceil(math.log2(n)))
+
+
+class TestEstimatePayloadBits:
+    def test_none_is_one_bit(self):
+        assert estimate_payload_bits(None) == 1
+
+    def test_bool(self):
+        assert estimate_payload_bits(True) == BOOL_BITS
+
+    def test_small_int(self):
+        assert estimate_payload_bits(0) == 2
+        assert estimate_payload_bits(1) == 2
+
+    def test_large_int_scales_with_bit_length(self):
+        assert estimate_payload_bits(2 ** 20) == 22
+
+    def test_negative_int_counts_magnitude(self):
+        assert estimate_payload_bits(-8) == estimate_payload_bits(8)
+
+    def test_string_costs_eight_bits_per_char(self):
+        assert estimate_payload_bits("abc") == 24
+
+    def test_tuple_sums_elements_plus_framing(self):
+        flat = estimate_payload_bits(5) + estimate_payload_bits(7)
+        assert estimate_payload_bits((5, 7)) == flat + 2
+
+    def test_nested_tuple(self):
+        assert estimate_payload_bits(((1,), 2)) > estimate_payload_bits((1, 2)) - 4
+
+    def test_rejects_lists(self):
+        with pytest.raises(TypeError):
+            estimate_payload_bits([1, 2, 3])
+
+    def test_rejects_dicts(self):
+        with pytest.raises(TypeError):
+            estimate_payload_bits({"a": 1})
+
+    def test_rejects_objects(self):
+        with pytest.raises(TypeError):
+            estimate_payload_bits(object())
+
+    @given(st.integers(min_value=0, max_value=2 ** 62))
+    def test_int_estimate_monotone_in_magnitude(self, value):
+        assert estimate_payload_bits(value * 2 + 1) >= estimate_payload_bits(value)
+
+
+class TestMessage:
+    def test_default_bits_include_kind_tag(self):
+        message = Message(kind="x", payload=(3,))
+        assert message.bits == KIND_TAG_BITS + estimate_payload_bits((3,))
+
+    def test_explicit_bits_respected(self):
+        message = Message(kind="x", payload=(3,), bits=99)
+        assert message.bits == 99
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            Message(kind="x", payload=None, bits=0)
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Message(kind="", payload=None)
+
+    def test_with_bits_returns_new_message(self):
+        message = Message(kind="x", payload=(3,))
+        recharged = message.with_bits(123)
+        assert recharged.bits == 123
+        assert recharged.payload == message.payload
+        assert message.bits != 123
+
+    def test_frozen(self):
+        message = Message(kind="x", payload=(1,))
+        with pytest.raises(Exception):
+            message.kind = "y"  # type: ignore[misc]
+
+
+class TestInbound:
+    def test_exposes_kind_and_payload(self):
+        inbound = Inbound(sender=4, message=Message(kind="k", payload=(9,)))
+        assert inbound.kind == "k"
+        assert inbound.payload == (9,)
+        assert inbound.sender == 4
+
+
+class TestHelperConstructors:
+    def test_id_message_charges_id_width(self):
+        message = make_id_message("k", node_id=3, n=1024)
+        assert message.bits == KIND_TAG_BITS + 10
+
+    def test_id_message_with_extra(self):
+        message = make_id_message("k", node_id=3, n=1024, extra=(1,))
+        assert message.bits > KIND_TAG_BITS + 10
+        assert message.payload == (3, 1)
+
+    def test_counter_message_charges_at_least_id_width(self):
+        message = make_counter_message("k", value=2, n=4096)
+        assert message.bits >= KIND_TAG_BITS + 12
+
+    def test_counter_message_larger_than_n(self):
+        message = make_counter_message("k", value=10 ** 6, n=16)
+        assert message.bits >= KIND_TAG_BITS + 20
+
+    @given(st.integers(min_value=0, max_value=10 ** 6), st.integers(min_value=2, max_value=10 ** 6))
+    def test_id_message_scaling_is_logarithmic(self, node_id, n):
+        message = make_id_message("k", node_id=node_id % n, n=n)
+        assert message.bits <= KIND_TAG_BITS + id_bits_for(n)

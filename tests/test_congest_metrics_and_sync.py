@@ -1,0 +1,179 @@
+"""Tests for run metrics and the alpha synchronizer."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.congest.config import CongestConfig
+from repro.congest.message import Message
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.network import Network
+from repro.congest.node import Protocol
+from repro.congest.scheduler import run_protocol
+from repro.congest.synchronizer import AlphaSynchronizer
+from repro.primitives.bfs_tree import KEY_PARTICIPANT, MinIdBFSTreeProtocol
+from repro.primitives.leader_election import MinIdFloodingProtocol
+
+
+class TestRoundMetrics:
+    def test_observe_message_accumulates(self):
+        rm = RoundMetrics(round_index=1)
+        rm.observe_message(10)
+        rm.observe_message(30)
+        assert rm.messages_sent == 2
+        assert rm.bits_sent == 40
+        assert rm.max_message_bits == 30
+
+
+class TestRunMetrics:
+    def test_absorb_round(self):
+        run = RunMetrics()
+        rm = RoundMetrics(round_index=1)
+        rm.observe_message(16)
+        run.absorb_round(rm, keep_trace=True)
+        assert run.rounds == 1
+        assert run.total_messages == 1
+        assert run.total_bits == 16
+        assert run.per_round == [rm]
+
+    def test_absorb_round_without_trace(self):
+        run = RunMetrics()
+        rm = RoundMetrics(round_index=1)
+        run.absorb_round(rm, keep_trace=False)
+        assert run.per_round == []
+
+    def test_merge_adds_rounds_and_maxes_bits(self):
+        a = RunMetrics(rounds=3, total_messages=5, total_bits=100, max_message_bits=20)
+        b = RunMetrics(rounds=2, total_messages=1, total_bits=10, max_message_bits=40)
+        a.merge(b, label="phase-b")
+        assert a.rounds == 5
+        assert a.total_messages == 6
+        assert a.max_message_bits == 40
+        assert "phase-b" in a.protocol_breakdown
+        assert a.protocol_breakdown["phase-b"].rounds == 2
+
+    def test_merge_same_label_twice(self):
+        a = RunMetrics()
+        b = RunMetrics(rounds=2, total_messages=3, total_bits=30, max_message_bits=10)
+        a.merge(b, label="x")
+        a.merge(b, label="x")
+        assert a.protocol_breakdown["x"].rounds == 4
+
+    def test_mean_message_bits(self):
+        a = RunMetrics(total_messages=4, total_bits=100)
+        assert a.mean_message_bits == 25.0
+        assert RunMetrics().mean_message_bits == 0.0
+
+    def test_as_row(self):
+        a = RunMetrics(rounds=2, total_messages=3, max_message_bits=9, max_messages_per_round=7)
+        assert a.as_row() == (2, 3, 9, 7)
+
+
+class _CountdownProtocol(Protocol):
+    """Deterministic protocol exercising several pulses for the synchronizer."""
+
+    name = "countdown"
+    quiesce_terminates = True
+
+    def on_start(self, ctx):
+        ctx.state["value"] = ctx.node_id
+        ctx.send_all(Message(kind="v", payload=(ctx.node_id,)))
+
+    def on_round(self, ctx, inbox):
+        best = ctx.state["value"]
+        improved = False
+        for inbound in inbox:
+            if inbound.payload[0] < best:
+                best = inbound.payload[0]
+                improved = True
+        if improved:
+            ctx.state["value"] = best
+            ctx.send_all(Message(kind="v", payload=(best,)))
+
+    def collect_output(self, ctx):
+        return ctx.state["value"]
+
+
+class TestAlphaSynchronizer:
+    def test_matches_synchronous_outputs_on_path(self):
+        graph = nx.path_graph(8)
+        network = Network(graph, seed=3)
+        sync = run_protocol(network, _CountdownProtocol())
+        runner = AlphaSynchronizer(
+            Network(graph, seed=3), _CountdownProtocol(), delay_rng=random.Random(9)
+        )
+        async_result = runner.run()
+        assert async_result.outputs == sync.outputs
+        assert async_result.pulses == max(1, sync.metrics.rounds)
+
+    def test_matches_on_random_graph(self):
+        graph = nx.gnp_random_graph(20, 0.2, seed=5)
+        sync = run_protocol(Network(graph, seed=1), _CountdownProtocol())
+        async_result = AlphaSynchronizer(
+            Network(graph, seed=1), _CountdownProtocol(), delay_rng=random.Random(2)
+        ).run()
+        assert async_result.outputs == sync.outputs
+
+    def test_control_overhead_positive(self):
+        graph = nx.cycle_graph(6)
+        async_result = AlphaSynchronizer(
+            Network(graph, seed=2), _CountdownProtocol(), delay_rng=random.Random(4)
+        ).run()
+        # Every protocol message triggers an ack, and every pulse a safety
+        # notification per edge direction: overhead strictly exceeds payload.
+        assert async_result.control_messages > async_result.protocol_messages
+        assert async_result.completion_time > 0
+
+    def test_explicit_pulse_budget(self):
+        graph = nx.path_graph(5)
+        async_result = AlphaSynchronizer(
+            Network(graph, seed=2),
+            _CountdownProtocol(),
+            pulses=2,
+            delay_rng=random.Random(4),
+        ).run()
+        assert async_result.pulses == 2
+
+    def test_bad_delays_rejected(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            AlphaSynchronizer(
+                Network(graph), _CountdownProtocol(), min_delay=0.0, max_delay=1.0
+            )
+        with pytest.raises(ValueError):
+            AlphaSynchronizer(
+                Network(graph), _CountdownProtocol(), min_delay=0.5, max_delay=0.1
+            )
+
+    def test_bfs_tree_same_roots_async(self):
+        graph = nx.gnp_random_graph(16, 0.3, seed=11)
+        per_node = {v: {KEY_PARTICIPANT: True} for v in graph.nodes()}
+        sync = run_protocol(
+            Network(graph, seed=4), MinIdBFSTreeProtocol(), per_node_inputs=per_node
+        )
+        async_result = AlphaSynchronizer(
+            Network(graph, seed=4),
+            MinIdBFSTreeProtocol(),
+            per_node_inputs=per_node,
+            delay_rng=random.Random(8),
+        ).run()
+        sync_roots = {v: out.root for v, out in sync.outputs.items()}
+        async_roots = {v: out.root for v, out in async_result.outputs.items()}
+        assert sync_roots == async_roots
+
+    def test_leader_election_async_equivalence(self):
+        graph = nx.cycle_graph(9)
+        per_node = {v: {KEY_PARTICIPANT: True} for v in graph.nodes()}
+        sync = run_protocol(
+            Network(graph, seed=4), MinIdFloodingProtocol(), per_node_inputs=per_node
+        )
+        async_result = AlphaSynchronizer(
+            Network(graph, seed=4),
+            MinIdFloodingProtocol(),
+            per_node_inputs=per_node,
+            delay_rng=random.Random(1),
+        ).run()
+        assert sync.outputs == async_result.outputs
