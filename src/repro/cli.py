@@ -52,6 +52,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=("distributed", "boosted", "centralized"),
         default="distributed",
+        help="which finder to run (algorithm variant)",
+    )
+    find.add_argument(
+        "--congest-engine",
+        choices=("reference", "batched"),
+        default="reference",
+        help="CONGEST execution engine for the distributed/boosted finders "
+        "(bit-identical results; 'batched' is the fast path)",
     )
     find.add_argument("--expected-sample", type=float, default=8.0, help="target E[|S|] = p*n")
     find.add_argument("--max-sample", type=int, default=13, help="Section 4.1 abort threshold on |S|")
@@ -108,10 +116,15 @@ def _cmd_find(args) -> int:
         min_output_size=args.min_output_size,
     )
     if args.engine == "distributed":
-        result = DistNearCliqueRunner(parameters=parameters, rng=rng).run(graph)
+        result = DistNearCliqueRunner(
+            parameters=parameters, rng=rng, engine=args.congest_engine
+        ).run(graph)
     elif args.engine == "boosted":
         result = BoostedNearCliqueRunner(
-            parameters=parameters, repetitions=args.repetitions, rng=rng
+            parameters=parameters,
+            repetitions=args.repetitions,
+            rng=rng,
+            congest_engine=args.congest_engine,
         ).run(graph)
     else:
         result = CentralizedNearCliqueFinder(

@@ -26,8 +26,14 @@ This package simulates that model in-process.  The pieces are:
     The communication graph plus per-node state containers.
 
 ``SynchronousScheduler`` / ``run_protocol``
-    The round-driving loop, including congestion enforcement (at most one
-    message per edge direction per round) and message-size checks.
+    The round-driving entry points, including congestion enforcement (at
+    most one message per edge direction per round) and message-size checks.
+
+``Engine`` / ``ReferenceEngine`` / ``BatchedEngine``
+    Pluggable implementations of the round loop itself: the reference
+    per-object execution and a CSR-backed batched fast path that is
+    guaranteed bit-identical to it (select with ``CongestConfig.engine`` or
+    the ``engine=`` argument of ``run_protocol``).
 
 ``metrics``
     Round, message, and bit accounting used by the complexity experiments
@@ -40,6 +46,13 @@ This package simulates that model in-process.  The pieces are:
 """
 
 from repro.congest.config import CongestConfig
+from repro.congest.engine import (
+    BatchedEngine,
+    Engine,
+    ReferenceEngine,
+    available_engines,
+    get_engine,
+)
 from repro.congest.errors import (
     CongestError,
     CongestionViolation,
@@ -71,6 +84,11 @@ __all__ = [
     "SynchronousScheduler",
     "RunResult",
     "run_protocol",
+    "Engine",
+    "ReferenceEngine",
+    "BatchedEngine",
+    "available_engines",
+    "get_engine",
     "RoundMetrics",
     "RunMetrics",
     "AlphaSynchronizer",

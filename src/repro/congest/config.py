@@ -8,7 +8,7 @@ exercise both the strict and the permissive behaviours).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 
@@ -42,6 +42,12 @@ class CongestConfig:
     record_round_metrics:
         When True the scheduler keeps a per-round metrics trace; disable for
         very long runs to save memory.
+    engine:
+        Name of the execution engine driving the round loop —
+        ``"reference"`` (the per-object semantics oracle) or ``"batched"``
+        (the CSR-backed fast path); see :mod:`repro.congest.engine`.  The
+        two are guaranteed to produce bit-identical results, so the choice
+        is purely a throughput knob.
     """
 
     max_rounds: Optional[int] = None
@@ -49,6 +55,7 @@ class CongestConfig:
     message_bit_budget: Optional[int] = None
     budget_multiplier: float = 12.0
     record_round_metrics: bool = True
+    engine: str = "reference"
 
     def with_log_budget(self, n: int) -> "CongestConfig":
         """Return a copy whose message budget is ``budget_multiplier * log2 n``.
@@ -57,23 +64,15 @@ class CongestConfig:
         few nodes) do not spuriously reject constant-size headers.
         """
         budget = max(32, int(math.ceil(self.budget_multiplier * math.log2(max(2, n)))))
-        return CongestConfig(
-            max_rounds=self.max_rounds,
-            enforce_congestion=self.enforce_congestion,
-            message_bit_budget=budget,
-            budget_multiplier=self.budget_multiplier,
-            record_round_metrics=self.record_round_metrics,
-        )
+        return replace(self, message_bit_budget=budget)
 
     def with_max_rounds(self, max_rounds: Optional[int]) -> "CongestConfig":
         """Return a copy with a different deterministic round cap."""
-        return CongestConfig(
-            max_rounds=max_rounds,
-            enforce_congestion=self.enforce_congestion,
-            message_bit_budget=self.message_bit_budget,
-            budget_multiplier=self.budget_multiplier,
-            record_round_metrics=self.record_round_metrics,
-        )
+        return replace(self, max_rounds=max_rounds)
+
+    def with_engine(self, engine: str) -> "CongestConfig":
+        """Return a copy that selects a different execution engine."""
+        return replace(self, engine=engine)
 
     @staticmethod
     def local_model(max_rounds: Optional[int] = None) -> "CongestConfig":

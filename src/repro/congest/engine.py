@@ -1,0 +1,482 @@
+"""Pluggable execution engines for the synchronous round loop.
+
+The round loop that drives a :class:`repro.congest.node.Protocol` over a
+:class:`repro.congest.network.Network` is factored out of the scheduler into
+an :class:`Engine` so that alternative executions (batched, sharded, async
+backends) can be plugged in without touching protocol code.  Two engines
+ship today:
+
+``ReferenceEngine`` (``engine="reference"``)
+    The original per-object round loop, moved here intact.  It is the
+    executable definition of the simulator's semantics: one dict-backed
+    inbox per node per round, every context visited every round, model
+    rules enforced as messages are collected.
+
+``BatchedEngine`` (``engine="batched"``)
+    A fast path for large networks.  It drives the same protocol callbacks
+    but organises the bookkeeping around flat arrays and reuse:
+
+    * node ids are mapped to dense indices via the network's CSR adjacency
+      (:meth:`repro.congest.network.Network.csr`), so inboxes live in a
+      preallocated list indexed by position instead of a per-round dict;
+    * inbox buffers are reused across rounds (cleared, not reallocated) and
+      a node's outbox dict is drained in place;
+    * :class:`repro.congest.message.Inbound` wrappers are interned per
+      round, so a broadcast of one message object to k neighbours allocates
+      one wrapper instead of k;
+    * an *active frontier* — the nodes that have not locally terminated —
+      is maintained incrementally, so silent or halted regions of the graph
+      cost nothing per round instead of O(n).
+
+**The reference-vs-fast-path contract.**  For every protocol, graph, seed
+and configuration, ``BatchedEngine`` must produce bit-identical results to
+``ReferenceEngine``: the same per-node outputs, the same round count, and
+the same message/bit metrics (including the per-round trace).  The
+differential suite in ``tests/test_engine_equivalence.py`` asserts this for
+every protocol in the package; any observable divergence is a bug in the
+fast path, never a tolerated approximation.  Two consequences for engine
+authors:
+
+* inbox ordering is part of the contract — messages are delivered grouped
+  by sender in ascending node-id order, multiple messages from one sender
+  in send order — because protocols may fold their inbox in arrival order;
+* the frontier may only skip work that provably has no observable effect:
+  a halted node's ``on_round`` is never invoked (late messages are dropped,
+  as in the reference), but an unfinished node is always invoked, even
+  with an empty inbox.
+
+Protocols must treat the inbox list handed to ``on_round`` as borrowed: it
+is only valid for the duration of the call and must not be mutated or
+retained (the fast path reuses the buffers; the reference engine happens to
+hand out fresh lists).  Every protocol in this package complies.
+
+The active frontier relies on the default termination predicate
+(:meth:`Protocol.finished` == "has this node halted"), which is monotone.
+A protocol that overrides ``finished`` with an arbitrary predicate (for
+example "run for exactly T rounds") is executed by the batched engine on a
+compatibility path that re-evaluates the predicate for every node each
+round, exactly like the reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.congest.config import CongestConfig
+from repro.congest.errors import (
+    CongestionViolation,
+    MessageSizeViolation,
+    ProtocolError,
+    RoundLimitExceeded,
+)
+from repro.congest.message import Inbound
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.network import Network
+from repro.congest.node import NodeContext, Protocol
+
+#: Number of consecutive completely silent rounds after which a protocol that
+#: does not declare ``quiesce_terminates`` is considered stalled.
+_STALL_LIMIT = 3
+
+#: Shared inbox handed to nodes with no mail this round (fast path).  It is
+#: a tuple, not a list, so a protocol that violates the borrowed-inbox
+#: contract by mutating it fails loudly at the violation site instead of
+#: leaking phantom messages into later runs.
+_EMPTY_INBOX: Sequence[Inbound] = ()
+
+
+@dataclass
+class RunResult:
+    """Outcome of one protocol execution.
+
+    Attributes
+    ----------
+    outputs:
+        Mapping from node id to the value reported by
+        :meth:`Protocol.collect_output` (by default the node's output
+        register).
+    metrics:
+        Round / message / bit accounting for the run.
+    contexts:
+        The per-node contexts after the run; composite protocols read
+        intermediate per-node state from here.
+    """
+
+    outputs: Dict[int, Any]
+    metrics: RunMetrics
+    contexts: Dict[int, NodeContext] = field(default_factory=dict)
+
+
+class Engine:
+    """One strategy for executing a protocol to termination.
+
+    Engines are stateless: all per-run state lives in local variables of
+    :meth:`execute`, so a single engine instance may be shared freely across
+    schedulers and threads.
+    """
+
+    #: Registry name (the value of ``CongestConfig.engine`` that selects it).
+    name = "engine"
+
+    def execute(
+        self,
+        network: Network,
+        protocol: Protocol,
+        config: Optional[CongestConfig] = None,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        reuse_contexts: bool = False,
+    ) -> RunResult:
+        raise NotImplementedError
+
+
+class ReferenceEngine(Engine):
+    """The original per-object round loop — the semantics oracle."""
+
+    name = "reference"
+
+    def execute(
+        self,
+        network: Network,
+        protocol: Protocol,
+        config: Optional[CongestConfig] = None,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        reuse_contexts: bool = False,
+    ) -> RunResult:
+        config = config or CongestConfig()
+        contexts = network.build_contexts(
+            global_inputs=global_inputs,
+            per_node_inputs=per_node_inputs,
+            fresh=not reuse_contexts,
+        )
+        metrics = RunMetrics()
+        quiesce_ok = bool(getattr(protocol, "quiesce_terminates", False))
+
+        # Messages queued during on_start are delivered in round 1; their
+        # volume is accounted to that first round.
+        startup_metrics = RoundMetrics(round_index=0)
+        for ctx in contexts.values():
+            ctx._advance_round(0)
+            protocol.on_start(ctx)
+        pending = self._collect_all(
+            contexts, config, round_index=0, metrics=startup_metrics
+        )
+
+        rounds = 0
+        silent_rounds = 0
+        while True:
+            all_done = all(protocol.finished(ctx) for ctx in contexts.values())
+            if all_done and not pending:
+                break
+            if not pending and rounds > 0 and quiesce_ok:
+                break
+            if not pending and rounds > 0:
+                silent_rounds += 1
+                if silent_rounds >= _STALL_LIMIT:
+                    raise ProtocolError(
+                        "protocol %r stalled: no messages in flight, nodes not "
+                        "finished, after %d silent rounds"
+                        % (protocol.name, silent_rounds)
+                    )
+            else:
+                silent_rounds = 0
+            if config.max_rounds is not None and rounds >= config.max_rounds:
+                raise RoundLimitExceeded(config.max_rounds)
+
+            rounds += 1
+            round_metrics = RoundMetrics(round_index=rounds)
+            if rounds == 1:
+                round_metrics.messages_sent = startup_metrics.messages_sent
+                round_metrics.bits_sent = startup_metrics.bits_sent
+                round_metrics.max_message_bits = startup_metrics.max_message_bits
+            inboxes: Dict[int, List[Inbound]] = {}
+            for (sender, receiver), message in pending:
+                inboxes.setdefault(receiver, []).append(
+                    Inbound(sender=sender, message=message)
+                )
+
+            active = 0
+            for node_id, ctx in contexts.items():
+                ctx._advance_round(rounds)
+                inbox = inboxes.get(node_id, [])
+                if protocol.finished(ctx):
+                    # A halted node ignores late messages, mirroring the
+                    # convention that its output is already committed.
+                    continue
+                active += 1
+                protocol.on_round(ctx, inbox)
+            round_metrics.active_nodes = active
+
+            pending = self._collect_all(contexts, config, rounds, round_metrics)
+            round_metrics.edges_used = len({pair for pair, _ in pending})
+            metrics.absorb_round(round_metrics, config.record_round_metrics)
+
+        outputs = {
+            node_id: protocol.collect_output(ctx)
+            for node_id, ctx in contexts.items()
+        }
+        return RunResult(outputs=outputs, metrics=metrics, contexts=contexts)
+
+    # ------------------------------------------------------------------
+    def _collect_all(
+        self,
+        contexts: Dict[int, NodeContext],
+        config: CongestConfig,
+        round_index: int,
+        metrics: Optional[RoundMetrics],
+    ) -> List:
+        """Gather queued messages from every node, enforcing the model rules."""
+        budget = config.message_bit_budget
+        pending = []
+        for node_id, ctx in contexts.items():
+            outgoing = ctx._collect_outgoing()
+            for receiver, messages in outgoing.items():
+                if config.enforce_congestion and len(messages) > 1:
+                    raise CongestionViolation(node_id, receiver, round_index)
+                for message in messages:
+                    if budget is not None and message.bits > budget:
+                        raise MessageSizeViolation(
+                            node_id, receiver, message.bits, budget, round_index
+                        )
+                    if metrics is not None:
+                        metrics.observe_message(message.bits)
+                    pending.append(((node_id, receiver), message))
+        return pending
+
+
+class BatchedEngine(Engine):
+    """CSR-backed fast path; see the module docstring for the contract."""
+
+    name = "batched"
+
+    def execute(
+        self,
+        network: Network,
+        protocol: Protocol,
+        config: Optional[CongestConfig] = None,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        reuse_contexts: bool = False,
+    ) -> RunResult:
+        config = config or CongestConfig()
+        contexts = network.build_contexts(
+            global_inputs=global_inputs,
+            per_node_inputs=per_node_inputs,
+            fresh=not reuse_contexts,
+        )
+        metrics = RunMetrics()
+        quiesce_ok = bool(getattr(protocol, "quiesce_terminates", False))
+        # The incremental frontier is only sound for the default (monotone)
+        # termination predicate; overridden predicates take the scan path.
+        fast_finished = type(protocol).finished is Protocol.finished
+
+        ids, _indptr, _indices = network.csr()
+        index_of = network.node_index_of
+        ctx_list = [contexts[node_id] for node_id in ids]
+        n = len(ctx_list)
+
+        enforce = config.enforce_congestion
+        budget = config.message_bit_budget
+        # A disabled budget is modelled as an unexceedable limit so the hot
+        # loop needs a single comparison instead of a None check per message.
+        budget_limit: float = float("inf") if budget is None else budget
+        max_rounds = config.max_rounds
+        on_round = protocol.on_round
+
+        inbox_buffers: List[List[Inbound]] = [[] for _ in range(n)]
+        touched: List[int] = []
+        # Per-sender Inbound intern caches, keyed by message object identity
+        # and reset every round (the cache keeps its messages alive, so ids
+        # cannot be recycled while an entry is live).
+        interned: Dict[int, Dict[int, Inbound]] = {}
+        # Outbound messages awaiting delivery, as two parallel flat lists
+        # (dense receiver index / Inbound) to avoid a tuple per message.
+        pending_index: List[int] = []
+        pending_inbound: List[Inbound] = []
+
+        def drain(
+            ctx: NodeContext,
+            round_index: int,
+            rm: RoundMetrics,
+            pairs: Optional[Set[Tuple[int, int]]],
+        ) -> None:
+            """Move one node's queued messages into the pending lists (rule
+            checks and accounting included), reusing the node's outbox dict."""
+            sender = ctx.node_id
+            outgoing = ctx._outgoing
+            messages_seen = 0
+            bits_seen = 0
+            max_bits = rm.max_message_bits
+            append_index = pending_index.append
+            append_inbound = pending_inbound.append
+            cache = interned.get(sender)
+            if cache is None:
+                cache = interned[sender] = {}
+            cache_get = cache.get
+            for receiver, messages in outgoing.items():
+                if enforce and len(messages) > 1:
+                    raise CongestionViolation(sender, receiver, round_index)
+                receiver_index = index_of[receiver]
+                for message in messages:
+                    bits = message.bits
+                    if bits > budget_limit:
+                        raise MessageSizeViolation(
+                            sender, receiver, bits, budget, round_index
+                        )
+                    messages_seen += 1
+                    bits_seen += bits
+                    if bits > max_bits:
+                        max_bits = bits
+                    message_id = id(message)
+                    inbound = cache_get(message_id)
+                    if inbound is None:
+                        inbound = Inbound(sender=sender, message=message)
+                        cache[message_id] = inbound
+                    append_index(receiver_index)
+                    append_inbound(inbound)
+                    if pairs is not None:
+                        pairs.add((sender, receiver))
+            outgoing.clear()
+            rm.messages_sent += messages_seen
+            rm.bits_sent += bits_seen
+            rm.max_message_bits = max_bits
+
+        # --- round 0: on_start, then one sweep over every node ------------
+        startup_metrics = RoundMetrics(round_index=0)
+        for ctx in ctx_list:
+            ctx._round = 0
+            protocol.on_start(ctx)
+        for ctx in ctx_list:
+            if ctx._outgoing:
+                drain(ctx, 0, startup_metrics, None)
+
+        frontier: List[int] = []
+        if fast_finished:
+            frontier = [i for i in range(n) if not ctx_list[i]._halted]
+
+        rounds = 0
+        silent_rounds = 0
+        while True:
+            if fast_finished:
+                all_done = not frontier
+            else:
+                all_done = all(protocol.finished(ctx) for ctx in ctx_list)
+            if all_done and not pending_index:
+                break
+            if not pending_index and rounds > 0 and quiesce_ok:
+                break
+            if not pending_index and rounds > 0:
+                silent_rounds += 1
+                if silent_rounds >= _STALL_LIMIT:
+                    raise ProtocolError(
+                        "protocol %r stalled: no messages in flight, nodes not "
+                        "finished, after %d silent rounds"
+                        % (protocol.name, silent_rounds)
+                    )
+            else:
+                silent_rounds = 0
+            if max_rounds is not None and rounds >= max_rounds:
+                raise RoundLimitExceeded(max_rounds)
+
+            rounds += 1
+            round_metrics = RoundMetrics(round_index=rounds)
+            if rounds == 1:
+                round_metrics.messages_sent = startup_metrics.messages_sent
+                round_metrics.bits_sent = startup_metrics.bits_sent
+                round_metrics.max_message_bits = startup_metrics.max_message_bits
+
+            for receiver_index, inbound in zip(pending_index, pending_inbound):
+                box = inbox_buffers[receiver_index]
+                if not box:
+                    touched.append(receiver_index)
+                box.append(inbound)
+
+            pending_index = []
+            pending_inbound = []
+            pairs: Optional[Set[Tuple[int, int]]] = None if enforce else set()
+            interned.clear()
+
+            if fast_finished:
+                round_metrics.active_nodes = len(frontier)
+                any_halted = False
+                for i in frontier:
+                    ctx = ctx_list[i]
+                    ctx._round = rounds
+                    box = inbox_buffers[i]
+                    on_round(ctx, box if box else _EMPTY_INBOX)
+                    if ctx._halted:
+                        any_halted = True
+                    if ctx._outgoing:
+                        drain(ctx, rounds, round_metrics, pairs)
+                if any_halted:
+                    frontier = [i for i in frontier if not ctx_list[i]._halted]
+            else:
+                active = 0
+                for i in range(n):
+                    ctx = ctx_list[i]
+                    ctx._round = rounds
+                    if protocol.finished(ctx):
+                        continue
+                    active += 1
+                    box = inbox_buffers[i]
+                    on_round(ctx, box if box else _EMPTY_INBOX)
+                    if ctx._outgoing:
+                        drain(ctx, rounds, round_metrics, pairs)
+                round_metrics.active_nodes = active
+
+            for i in touched:
+                inbox_buffers[i].clear()
+            del touched[:]
+
+            round_metrics.edges_used = (
+                len(pending_index) if pairs is None else len(pairs)
+            )
+            metrics.absorb_round(round_metrics, config.record_round_metrics)
+
+        # The reference advances every context each round; halted nodes were
+        # skipped above, so align their round counters before harvest.
+        for ctx in ctx_list:
+            ctx._round = rounds
+        outputs = {
+            node_id: protocol.collect_output(ctx)
+            for node_id, ctx in contexts.items()
+        }
+        return RunResult(outputs=outputs, metrics=metrics, contexts=contexts)
+
+
+#: Shared engine singletons, keyed by registry name.
+ENGINES: Dict[str, Engine] = {
+    ReferenceEngine.name: ReferenceEngine(),
+    BatchedEngine.name: BatchedEngine(),
+}
+
+#: Name of the engine used when neither the caller nor the configuration
+#: selects one.
+DEFAULT_ENGINE = ReferenceEngine.name
+
+
+def available_engines() -> Tuple[str, ...]:
+    """Registry names of the engines that can be selected."""
+    return tuple(sorted(ENGINES))
+
+
+def get_engine(spec: Union[None, str, Engine] = None) -> Engine:
+    """Resolve an engine selector to an :class:`Engine` instance.
+
+    ``spec`` may be ``None`` (the default engine), a registry name, or an
+    already-constructed :class:`Engine` (returned as-is, which is how
+    external backends plug in without registration).
+    """
+    if spec is None:
+        return ENGINES[DEFAULT_ENGINE]
+    if isinstance(spec, Engine):
+        return spec
+    try:
+        return ENGINES[spec]
+    except KeyError:
+        raise ValueError(
+            "unknown engine %r; available engines: %s"
+            % (spec, ", ".join(available_engines()))
+        )

@@ -5,17 +5,42 @@ Node labels must be hashable; they are mapped to integer identifiers
 (preserving integer labels when possible) because the paper assumes each
 node carries a unique O(log n)-bit identifier that supports comparisons
 (smallest-ID root election, largest-root tie breaking).
+
+Relabelling is deterministic for *any* mix of label types: labels are
+ordered first by type name and then by ``repr``, so a graph mixing integer
+and string labels (as real edge-list files sometimes do) always produces
+the same ``0..n-1`` assignment regardless of insertion order, instead of
+tripping over ``sorted`` refusing to compare heterogeneous keys.
+
+Adjacency is stored in CSR form — two flat integer arrays (``indptr`` and
+``indices``) over a dense ``0..n-1`` index — which is what the batched
+execution engine (:mod:`repro.congest.engine`) consumes; the per-node
+neighbour tuples handed to contexts are views derived from it.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
 from repro.congest.errors import ProtocolError
 from repro.congest.node import NodeContext
+
+
+def _relabel_sort_key(label: Any) -> Tuple[str, str]:
+    """Total order over arbitrary hashable labels: (type name, repr).
+
+    Plain ``sorted`` raises ``TypeError`` on heterogeneous labels (``3 < "a"``
+    is undefined), which would make the relabelling of a mixed int/str graph
+    depend on whether the comparison ever happens.  Grouping by type name
+    first and ``repr`` second is deterministic for any label mix and for any
+    insertion order (labels of types with value-stable reprs, which covers
+    every wire-friendly label type).
+    """
+    return (type(label).__name__, repr(label))
 
 
 class Network:
@@ -28,8 +53,11 @@ class Network:
         not have a link to itself); multi-edges are collapsed by networkx.
     relabel:
         When True (default) and the graph's labels are not all integers, the
-        nodes are relabelled ``0..n-1`` in sorted-label order.  The mapping
-        is available as :attr:`label_of` / :attr:`id_of`.
+        nodes are relabelled ``0..n-1`` in (type name, repr) order — a total
+        order that is well-defined even when integer and string labels are
+        mixed in one graph.  The mapping is available as :attr:`label_of` /
+        :attr:`id_of` and depends only on the label set, never on insertion
+        order.
     seed:
         Seed for the network-level random source from which per-node private
         random generators are derived.
@@ -52,7 +80,7 @@ class Network:
             self._graph = working
             self.id_of: Dict[Any, int] = {node: node for node in working.nodes()}
         elif relabel:
-            ordered = sorted(working.nodes(), key=repr)
+            ordered = sorted(working.nodes(), key=_relabel_sort_key)
             self.id_of = {label: index for index, label in enumerate(ordered)}
             self._graph = nx.relabel_nodes(working, self.id_of, copy=True)
         else:
@@ -62,10 +90,25 @@ class Network:
             )
         self.label_of: Dict[int, Any] = {v: k for k, v in self.id_of.items()}
 
-        self._adjacency: Dict[int, Tuple[int, ...]] = {
-            node: tuple(sorted(self._graph.neighbors(node)))
-            for node in self._graph.nodes()
+        # Canonical flat-array (CSR) adjacency over a dense 0..n-1 index in
+        # ascending node-id order; the per-node tuples below are views of it.
+        ids: Tuple[int, ...] = tuple(sorted(self._graph.nodes()))
+        self._ids = ids
+        self._index_of: Dict[int, int] = {
+            node_id: index for index, node_id in enumerate(ids)
         }
+        index_of = self._index_of
+        indptr = array("q", [0])
+        indices = array("q")
+        adjacency: Dict[int, Tuple[int, ...]] = {}
+        for node_id in ids:
+            neighbors = tuple(sorted(self._graph.neighbors(node_id)))
+            adjacency[node_id] = neighbors
+            indices.extend(index_of[neighbor] for neighbor in neighbors)
+            indptr.append(len(indices))
+        self._indptr = indptr
+        self._indices = indices
+        self._adjacency = adjacency
         self._rng = random.Random(seed)
         self._contexts: Dict[int, NodeContext] = {}
 
@@ -85,7 +128,22 @@ class Network:
     @property
     def node_ids(self) -> List[int]:
         """Sorted list of node identifiers."""
-        return sorted(self._graph.nodes())
+        return list(self._ids)
+
+    @property
+    def node_index_of(self) -> Dict[int, int]:
+        """Mapping from node id to its dense ``0..n-1`` CSR index."""
+        return self._index_of
+
+    def csr(self) -> Tuple[Tuple[int, ...], array, array]:
+        """The flat-array adjacency: ``(ids, indptr, indices)``.
+
+        ``ids[i]`` is the node id at dense index ``i`` (ascending id order);
+        the neighbours of dense index ``i`` are the dense indices
+        ``indices[indptr[i]:indptr[i + 1]]``, also ascending.  The arrays are
+        built once per network and shared — callers must not mutate them.
+        """
+        return self._ids, self._indptr, self._indices
 
     def neighbors(self, node_id: int) -> Tuple[int, ...]:
         """Adjacent node identifiers of *node_id* (sorted)."""

@@ -8,6 +8,13 @@ The scheduler drives a :class:`repro.congest.node.Protocol` over a
 3. the one-message-per-edge-per-round rule and the per-message bit budget are
    enforced as messages are collected.
 
+The round loop itself lives in :mod:`repro.congest.engine`, behind a
+pluggable :class:`repro.congest.engine.Engine` interface: ``"reference"``
+is the semantics oracle, ``"batched"`` the CSR-backed fast path, and the
+two are guaranteed to produce bit-identical results (see that module's
+docstring for the contract).  The engine is chosen by the ``engine``
+argument here, falling back to :attr:`CongestConfig.engine`.
+
 Termination
 -----------
 A run terminates when every node has locally terminated
@@ -17,55 +24,46 @@ attribute ``quiesce_terminates = True``; such a run also terminates when the
 network becomes silent (no messages in flight and none produced in the last
 round).  This is a simulator convenience standing in for the deterministic
 worst-case round bounds the paper uses (Lemma 5.1); measured round counts are
-unaffected because silent trailing rounds are not executed.
+unaffected because silent trailing rounds are not executed.  A protocol
+without ``quiesce_terminates`` that stays silent for :data:`_STALL_LIMIT`
+consecutive rounds without finishing is declared stalled — fewer silent
+rounds followed by renewed traffic are legal under every engine.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.congest.config import CongestConfig
-from repro.congest.errors import (
-    CongestionViolation,
-    MessageSizeViolation,
-    ProtocolError,
-    RoundLimitExceeded,
+from repro.congest.engine import (
+    _STALL_LIMIT,
+    Engine,
+    RunResult,
+    get_engine,
 )
-from repro.congest.message import Inbound, Message
-from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.network import Network
-from repro.congest.node import NodeContext, Protocol
+from repro.congest.node import Protocol
 
-#: Number of consecutive completely silent rounds after which a protocol that
-#: does not declare ``quiesce_terminates`` is considered stalled.
-_STALL_LIMIT = 3
-
-
-@dataclass
-class RunResult:
-    """Outcome of one protocol execution.
-
-    Attributes
-    ----------
-    outputs:
-        Mapping from node id to the value reported by
-        :meth:`Protocol.collect_output` (by default the node's output
-        register).
-    metrics:
-        Round / message / bit accounting for the run.
-    contexts:
-        The per-node contexts after the run; composite protocols read
-        intermediate per-node state from here.
-    """
-
-    outputs: Dict[int, Any]
-    metrics: RunMetrics
-    contexts: Dict[int, NodeContext] = field(default_factory=dict)
+__all__ = [
+    "RunResult",
+    "SynchronousScheduler",
+    "run_protocol",
+    "_STALL_LIMIT",
+]
 
 
 class SynchronousScheduler:
-    """Run one protocol on one network under a :class:`CongestConfig`."""
+    """Run one protocol on one network under a :class:`CongestConfig`.
+
+    Parameters
+    ----------
+    network, protocol, config, global_inputs, per_node_inputs, reuse_contexts:
+        As documented on :func:`run_protocol`.
+    engine:
+        Execution-engine selector — a registry name (``"reference"``,
+        ``"batched"``), an :class:`repro.congest.engine.Engine` instance, or
+        ``None`` to use ``config.engine``.
+    """
 
     def __init__(
         self,
@@ -75,6 +73,7 @@ class SynchronousScheduler:
         global_inputs: Optional[Dict[str, Any]] = None,
         per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
         reuse_contexts: bool = False,
+        engine: Union[None, str, Engine] = None,
     ) -> None:
         self.network = network
         self.protocol = protocol
@@ -82,105 +81,22 @@ class SynchronousScheduler:
         self.global_inputs = global_inputs
         self.per_node_inputs = per_node_inputs
         self.reuse_contexts = reuse_contexts
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the protocol to termination and return its result."""
-        contexts = self.network.build_contexts(
+        engine = get_engine(
+            self.engine if self.engine is not None else self.config.engine
+        )
+        return engine.execute(
+            self.network,
+            self.protocol,
+            config=self.config,
             global_inputs=self.global_inputs,
             per_node_inputs=self.per_node_inputs,
-            fresh=not self.reuse_contexts,
+            reuse_contexts=self.reuse_contexts,
         )
-        metrics = RunMetrics()
-        quiesce_ok = bool(getattr(self.protocol, "quiesce_terminates", False))
-
-        # Messages queued during on_start are delivered in round 1; their
-        # volume is accounted to that first round.
-        startup_metrics = RoundMetrics(round_index=0)
-        for ctx in contexts.values():
-            ctx._advance_round(0)
-            self.protocol.on_start(ctx)
-        pending = self._collect_all(contexts, round_index=0, metrics=startup_metrics)
-
-        rounds = 0
-        silent_rounds = 0
-        while True:
-            all_done = all(self.protocol.finished(ctx) for ctx in contexts.values())
-            if all_done and not pending:
-                break
-            if not pending and rounds > 0 and quiesce_ok:
-                break
-            if not pending and rounds > 0:
-                silent_rounds += 1
-                if silent_rounds >= _STALL_LIMIT:
-                    raise ProtocolError(
-                        "protocol %r stalled: no messages in flight, nodes not "
-                        "finished, after %d silent rounds"
-                        % (self.protocol.name, silent_rounds)
-                    )
-            else:
-                silent_rounds = 0
-            if self.config.max_rounds is not None and rounds >= self.config.max_rounds:
-                raise RoundLimitExceeded(self.config.max_rounds)
-
-            rounds += 1
-            round_metrics = RoundMetrics(round_index=rounds)
-            if rounds == 1:
-                round_metrics.messages_sent = startup_metrics.messages_sent
-                round_metrics.bits_sent = startup_metrics.bits_sent
-                round_metrics.max_message_bits = startup_metrics.max_message_bits
-            inboxes: Dict[int, List[Inbound]] = {}
-            for (sender, receiver), message in pending:
-                inboxes.setdefault(receiver, []).append(
-                    Inbound(sender=sender, message=message)
-                )
-
-            active = 0
-            for node_id, ctx in contexts.items():
-                ctx._advance_round(rounds)
-                inbox = inboxes.get(node_id, [])
-                if self.protocol.finished(ctx):
-                    # A halted node ignores late messages, mirroring the
-                    # convention that its output is already committed.
-                    continue
-                active += 1
-                self.protocol.on_round(ctx, inbox)
-            round_metrics.active_nodes = active
-
-            pending = self._collect_all(contexts, rounds, round_metrics)
-            round_metrics.edges_used = len({pair for pair, _ in pending})
-            metrics.absorb_round(round_metrics, self.config.record_round_metrics)
-
-        outputs = {
-            node_id: self.protocol.collect_output(ctx)
-            for node_id, ctx in contexts.items()
-        }
-        return RunResult(outputs=outputs, metrics=metrics, contexts=contexts)
-
-    # ------------------------------------------------------------------
-    def _collect_all(
-        self,
-        contexts: Dict[int, NodeContext],
-        round_index: int,
-        metrics: Optional[RoundMetrics],
-    ) -> List:
-        """Gather queued messages from every node, enforcing the model rules."""
-        budget = self.config.message_bit_budget
-        pending = []
-        for node_id, ctx in contexts.items():
-            outgoing = ctx._collect_outgoing()
-            for receiver, messages in outgoing.items():
-                if self.config.enforce_congestion and len(messages) > 1:
-                    raise CongestionViolation(node_id, receiver, round_index)
-                for message in messages:
-                    if budget is not None and message.bits > budget:
-                        raise MessageSizeViolation(
-                            node_id, receiver, message.bits, budget, round_index
-                        )
-                    if metrics is not None:
-                        metrics.observe_message(message.bits)
-                    pending.append(((node_id, receiver), message))
-        return pending
 
 
 def run_protocol(
@@ -190,6 +106,7 @@ def run_protocol(
     global_inputs: Optional[Dict[str, Any]] = None,
     per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
     reuse_contexts: bool = False,
+    engine: Union[None, str, Engine] = None,
 ) -> RunResult:
     """Convenience wrapper: build a scheduler and run it once."""
     scheduler = SynchronousScheduler(
@@ -199,5 +116,6 @@ def run_protocol(
         global_inputs=global_inputs,
         per_node_inputs=per_node_inputs,
         reuse_contexts=reuse_contexts,
+        engine=engine,
     )
     return scheduler.run()

@@ -106,7 +106,10 @@ class AlphaSynchronizer:
     Parameters
     ----------
     network, protocol, config, global_inputs, per_node_inputs:
-        As for :class:`repro.congest.scheduler.SynchronousScheduler`.
+        As for :class:`repro.congest.scheduler.SynchronousScheduler`.  When
+        the pulse budget is derived automatically, the preliminary
+        synchronous execution honours ``config.engine``, so large networks
+        can use the batched fast path for it.
     pulses:
         Number of synchronizer pulses to execute.  ``None`` (default) first
         runs the protocol synchronously on the same network to learn the

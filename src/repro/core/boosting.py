@@ -82,6 +82,7 @@ class BoostedNearCliqueRunner:
         target_failure: Optional[float] = None,
         single_run_success: float = 0.5,
         engine: str = "centralized",
+        congest_engine: Optional[str] = None,
         rng: Optional[random.Random] = None,
     ) -> None:
         if parameters is None:
@@ -110,6 +111,9 @@ class BoostedNearCliqueRunner:
         self.parameters = parameters
         self.repetitions = repetitions
         self.engine = engine
+        #: CONGEST execution engine for the "distributed" variant (see
+        #: :mod:`repro.congest.engine`); ``None`` keeps the simulator default.
+        self.congest_engine = congest_engine
         self.rng = rng or random.Random()
 
     # ------------------------------------------------------------------
@@ -177,7 +181,9 @@ class BoostedNearCliqueRunner:
         params = self.parameters
         if self.engine == "distributed":
             runner = DistNearCliqueRunner(
-                parameters=params, rng=random.Random(self.rng.getrandbits(48))
+                parameters=params,
+                rng=random.Random(self.rng.getrandbits(48)),
+                engine=self.congest_engine,
             )
             result = runner.run(graph)
             if result.aborted:

@@ -66,6 +66,11 @@ class DistNearCliqueRunner:
         CONGEST simulator configuration.  By default the runner enforces the
         one-message-per-edge rule and a ``12·log₂ n``-bit message budget
         (checked, not just measured).
+    engine:
+        Execution-engine selector (``"reference"`` or ``"batched"``, see
+        :mod:`repro.congest.engine`) applied on top of *config*.  ``None``
+        keeps the configuration's engine.  Both engines produce bit-identical
+        results, so this is purely a throughput knob.
     """
 
     def __init__(
@@ -80,6 +85,7 @@ class DistNearCliqueRunner:
         step4f_sample_size: int = 32,
         rng: Optional[random.Random] = None,
         config: Optional[CongestConfig] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if parameters is None:
             if epsilon is None or sample_probability is None:
@@ -98,6 +104,7 @@ class DistNearCliqueRunner:
         self.parameters = parameters
         self.rng = rng or random.Random()
         self.config = config
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def run(
@@ -127,6 +134,8 @@ class DistNearCliqueRunner:
         params = self.parameters
         network = Network(graph, seed=self.rng.getrandbits(48))
         config = self.config or CongestConfig().with_log_budget(network.n)
+        if self.engine is not None:
+            config = config.with_engine(self.engine)
 
         global_inputs = {
             phases.GLOBAL_EPSILON: params.epsilon,

@@ -55,6 +55,11 @@ class TolerantNearCliqueTester:
     epsilon_2:
         Farness threshold: graphs in which no ρn-vertex set is an ε₂-near
         clique should be rejected.  Must exceed ``epsilon_1``.
+    congest_engine:
+        Execution engine used by :meth:`find_distributed` when the sampled
+        decision is re-run as the paper's actual CONGEST algorithm
+        (``"reference"`` or ``"batched"``; see :mod:`repro.congest.engine`).
+        ``None`` keeps the simulator default.
     """
 
     def __init__(
@@ -64,6 +69,7 @@ class TolerantNearCliqueTester:
         epsilon_2: float,
         rng: Optional[random.Random] = None,
         primary_sample_cap: int = 14,
+        congest_engine: Optional[str] = None,
     ) -> None:
         if not 0 < rho <= 1:
             raise ValueError("rho must lie in (0, 1]")
@@ -74,6 +80,7 @@ class TolerantNearCliqueTester:
         self.epsilon_2 = epsilon_2
         self.rng = rng or random.Random()
         self.primary_sample_cap = primary_sample_cap
+        self.congest_engine = congest_engine
 
     @property
     def working_epsilon(self) -> float:
@@ -146,6 +153,41 @@ class TolerantNearCliqueTester:
             found_density=best[1],
             found_fraction=best[0] / float(n),
         )
+
+    # ------------------------------------------------------------------
+    def find_distributed(
+        self,
+        graph: nx.Graph,
+        sample_probability: Optional[float] = None,
+        max_sample_size: Optional[int] = 18,
+    ):
+        """Extract a near-clique with the paper's CONGEST algorithm itself.
+
+        The tester decides from adjacency queries; this companion runs the
+        full distributed ``DistNearClique`` on the same graph — the paper's
+        point being that its construction *is* a distributed implementation
+        of the tester.  The CONGEST simulation is executed under
+        :attr:`congest_engine`, so large accept-side instances can use the
+        batched fast path without changing the verdict (engines are
+        bit-identical by contract).
+
+        Returns the :class:`repro.core.result.NearCliqueResult` of one run.
+        """
+        # Imported here: repro.core.dist_near_clique must stay importable
+        # without the proptest package (and vice versa).
+        from repro.core.dist_near_clique import DistNearCliqueRunner
+
+        n = max(1, graph.number_of_nodes())
+        if sample_probability is None:
+            sample_probability = min(1.0, 8.0 / n)
+        runner = DistNearCliqueRunner(
+            epsilon=self.working_epsilon,
+            sample_probability=sample_probability,
+            max_sample_size=max_sample_size,
+            rng=random.Random(self.rng.getrandbits(48)),
+            engine=self.congest_engine,
+        )
+        return runner.run(graph)
 
     # ------------------------------------------------------------------
     def test_with_confidence(self, graph: nx.Graph, repetitions: int = 3) -> TolerantVerdict:

@@ -55,6 +55,49 @@ class TestFindCommand:
         assert exit_code == 0
         assert "recall of planted set" in captured.out
 
+    @pytest.mark.parametrize("congest_engine", ["reference", "batched"])
+    def test_congest_engine_selection(self, capsys, congest_engine):
+        exit_code = cli.main(
+            [
+                "find",
+                "--n",
+                "60",
+                "--epsilon",
+                "0.2",
+                "--engine",
+                "distributed",
+                "--congest-engine",
+                congest_engine,
+                "--expected-sample",
+                "6",
+                "--seed",
+                "5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Discovered near-cliques" in captured.out
+
+    def test_congest_engines_print_identical_reports(self, capsys):
+        reports = {}
+        for congest_engine in ("reference", "batched"):
+            exit_code = cli.main(
+                [
+                    "find",
+                    "--n",
+                    "50",
+                    "--congest-engine",
+                    congest_engine,
+                    "--expected-sample",
+                    "5",
+                    "--seed",
+                    "9",
+                ]
+            )
+            assert exit_code == 0
+            reports[congest_engine] = capsys.readouterr().out
+        assert reports["reference"] == reports["batched"]
+
     def test_boosted_engine(self, capsys):
         exit_code = cli.main(
             [

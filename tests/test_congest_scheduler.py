@@ -102,6 +102,32 @@ class TestNetwork:
         assert set(network.node_ids) == {0, 1, 2}
         assert set(network.label_of.values()) == {"a", "b", "c"}
 
+    def test_mixed_type_labels_relabel_deterministically(self):
+        # int + str labels in one graph: plain sorted() would raise TypeError;
+        # the network must relabel deterministically instead.
+        edges = [(3, "a"), ("a", "b"), ("b", 7), (7, 3)]
+        network = Network(nx.Graph(edges))
+        assert set(network.node_ids) == {0, 1, 2, 3}
+        # ... and the mapping depends only on the label set, not on the
+        # insertion order of nodes or edges.
+        shuffled = Network(nx.Graph(list(reversed(edges))))
+        assert network.id_of == shuffled.id_of
+        assert network.label_of == shuffled.label_of
+
+    def test_mixed_type_relabel_groups_by_type_then_repr(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([10, 2, "z", "a"])
+        network = Network(graph)
+        # type name order: int < str; within a type, repr order.
+        assert [network.label_of[i] for i in range(4)] == [10, 2, "a", "z"]
+
+    def test_mixed_type_labels_roundtrip_through_a_protocol(self):
+        graph = nx.Graph([(1, "hub"), (2, "hub"), (3, "hub")])
+        network = Network(graph)
+        result = run_protocol(network, EchoOnce())
+        hub_id = network.id_of["hub"]
+        assert result.outputs[hub_id] == 3
+
     def test_directed_graph_rejected(self):
         with pytest.raises(ValueError):
             Network(nx.DiGraph([(0, 1)]))
@@ -142,6 +168,19 @@ class TestNetwork:
         network = Network(two_triangles)
         sub = network.induced_subgraph([0, 1, 2])
         assert sub.number_of_edges() == 3
+
+    def test_csr_adjacency_matches_neighbor_tuples(self, two_triangles):
+        network = Network(two_triangles)
+        ids, indptr, indices = network.csr()
+        assert ids == (0, 1, 2, 10, 11, 12)
+        assert len(indptr) == len(ids) + 1
+        assert len(indices) == 2 * network.number_of_edges()
+        for dense, node_id in enumerate(ids):
+            neighbors = tuple(
+                ids[j] for j in indices[indptr[dense]:indptr[dense + 1]]
+            )
+            assert neighbors == network.neighbors(node_id)
+            assert network.node_index_of[node_id] == dense
 
 
 class TestScheduler:

@@ -1,0 +1,253 @@
+"""Differential harness: BatchedEngine must be bit-identical to ReferenceEngine.
+
+The contract (module docstring of :mod:`repro.congest.engine`) is that for
+every protocol, graph, seed and configuration the two engines produce the
+same per-node outputs, the same round count, and the same message/bit
+metrics including the per-round trace.  This suite runs every protocol in
+``repro.primitives`` (plus the full ``DistNearCliqueRunner`` pipeline and
+the shingles baseline, whose overridden ``finished`` exercises the batched
+engine's compatibility path) under both engines on a pool of seeded graphs
+and asserts exact equality.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.baselines.shingles import ShinglesProtocol
+from repro.congest.config import CongestConfig
+from repro.congest.engine import available_engines, get_engine
+from repro.congest.network import Network
+from repro.congest.scheduler import run_protocol
+from repro.core.dist_near_clique import DistNearCliqueRunner
+from repro.graphs import generators
+from repro.primitives.bfs_tree import (
+    KEY_PARTICIPANT,
+    MinIdBFSTreeProtocol,
+    ParentNotificationProtocol,
+)
+from repro.primitives.broadcast import TreeBroadcastProtocol
+from repro.primitives.convergecast import (
+    KEY_COLLECTED,
+    KEY_LOCAL_COUNTERS,
+    ConvergecastCollectProtocol,
+    ConvergecastSumProtocol,
+)
+from repro.primitives.leader_election import MinIdFloodingProtocol
+
+
+def _graph_pool():
+    """~10 seeded graphs spanning the shapes the protocols care about."""
+    pool = [
+        ("path", nx.path_graph(8)),
+        ("star", nx.star_graph(9)),
+        ("cycle", nx.cycle_graph(11)),
+        ("complete", nx.complete_graph(7)),
+        ("two-triangles", nx.Graph([(0, 1), (1, 2), (0, 2), (10, 11), (11, 12), (10, 12)])),
+        ("isolates", nx.Graph()),
+    ]
+    pool[-1][1].add_nodes_from(range(5))
+    pool[-1][1].add_edge(0, 1)
+    for seed in (2, 5, 9):
+        g = nx.gnp_random_graph(24, 0.18, seed=seed)
+        pool.append(("gnp-%d" % seed, g))
+    planted, _ = generators.planted_near_clique(
+        n=40, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=7
+    )
+    pool.append(("planted", planted))
+    return pool
+
+
+GRAPHS = _graph_pool()
+GRAPH_IDS = [name for name, _ in GRAPHS]
+
+
+def _trace(metrics):
+    return [
+        (
+            r.round_index,
+            r.messages_sent,
+            r.bits_sent,
+            r.max_message_bits,
+            r.edges_used,
+            r.active_nodes,
+        )
+        for r in metrics.per_round
+    ]
+
+
+def _fingerprint(result):
+    """Everything the contract promises to keep identical, as one value."""
+    m = result.metrics
+    return (
+        result.outputs,
+        m.rounds,
+        m.total_messages,
+        m.total_bits,
+        m.max_message_bits,
+        m.max_messages_per_round,
+        _trace(m),
+    )
+
+
+def _participants(graph):
+    return {v: {KEY_PARTICIPANT: True} for v in graph.nodes()}
+
+
+def _run_primitive_suite(graph, engine):
+    """The full primitive pipeline on one network, as the runner chains it."""
+    network = Network(graph, seed=1234)
+    config = CongestConfig(engine=engine).with_log_budget(max(2, network.n))
+    per_node = _participants(graph)
+    fingerprints = []
+
+    flood = run_protocol(
+        network, MinIdFloodingProtocol(), config=config, per_node_inputs=per_node
+    )
+    fingerprints.append(_fingerprint(flood))
+
+    tree = run_protocol(
+        network, MinIdBFSTreeProtocol(), config=config, per_node_inputs=per_node
+    )
+    fingerprints.append(_fingerprint(tree))
+
+    children = run_protocol(
+        network, ParentNotificationProtocol(), config=config, reuse_contexts=True
+    )
+    fingerprints.append(_fingerprint(children))
+
+    collected = run_protocol(
+        network, ConvergecastCollectProtocol(), config=config, reuse_contexts=True
+    )
+    fingerprints.append(_fingerprint(collected))
+
+    broadcast = run_protocol(
+        network,
+        TreeBroadcastProtocol(input_key=KEY_COLLECTED, output_key="bcast_out"),
+        config=config,
+        reuse_contexts=True,
+    )
+    fingerprints.append(_fingerprint(broadcast))
+
+    counters = {v: {KEY_LOCAL_COUNTERS: {1: 1, 2: v % 3}} for v in network.node_ids}
+    network.build_contexts(per_node_inputs=counters, fresh=False)
+    sums = run_protocol(
+        network, ConvergecastSumProtocol(), config=config, reuse_contexts=True
+    )
+    fingerprints.append(_fingerprint(sums))
+    return fingerprints
+
+
+class TestPrimitiveEquivalence:
+    @pytest.mark.parametrize("graph", [g for _, g in GRAPHS], ids=GRAPH_IDS)
+    def test_primitive_pipeline_identical(self, graph):
+        reference = _run_primitive_suite(graph, "reference")
+        batched = _run_primitive_suite(graph, "batched")
+        assert reference == batched
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_partial_participation_identical(self, seed):
+        graph = nx.gnp_random_graph(20, 0.25, seed=seed)
+        rng = random.Random(seed)
+        chosen = {v for v in graph.nodes() if rng.random() < 0.4}
+        per_node = {v: {KEY_PARTICIPANT: v in chosen} for v in graph.nodes()}
+        results = {}
+        for engine in available_engines():
+            network = Network(graph, seed=77)
+            config = CongestConfig(engine=engine).with_log_budget(20)
+            result = run_protocol(
+                network, MinIdBFSTreeProtocol(), config=config, per_node_inputs=per_node
+            )
+            results[engine] = _fingerprint(result)
+        assert len(set(map(repr, results.values()))) == 1
+
+
+class TestOverriddenFinishedEquivalence:
+    """ShinglesProtocol overrides ``finished`` — the compatibility path."""
+
+    @pytest.mark.parametrize("seed", [1, 4])
+    def test_shingles_identical(self, seed):
+        graph, _ = generators.shingles_counterexample(n=24, delta=0.5)
+        fingerprints = {}
+        for engine in available_engines():
+            network = Network(graph, seed=seed)
+            config = CongestConfig(engine=engine).with_log_budget(network.n)
+            result = run_protocol(network, ShinglesProtocol(), config=config)
+            fingerprints[engine] = _fingerprint(result)
+        assert fingerprints["reference"] == fingerprints["batched"]
+
+
+class TestRunnerEquivalence:
+    """The whole 14-phase DistNearClique pipeline, sampled and forced."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_full_runner_identical(self, seed):
+        graph, _ = generators.planted_near_clique(
+            n=60, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=seed
+        )
+        results = {}
+        for engine in available_engines():
+            runner = DistNearCliqueRunner(
+                epsilon=0.25,
+                sample_probability=0.1,
+                rng=random.Random(1000 + seed),
+                engine=engine,
+            )
+            result = runner.run(graph)
+            results[engine] = (
+                result.labels,
+                result.sample,
+                result.aborted,
+                [c for c in result.candidates],
+                result.metrics.rounds,
+                result.metrics.total_messages,
+                result.metrics.total_bits,
+                result.metrics.max_message_bits,
+                _trace(result.metrics),
+            )
+        assert results["reference"] == results["batched"]
+
+    def test_forced_sample_identical(self):
+        graph, planted = generators.planted_near_clique(
+            n=50, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=11
+        )
+        sample = sorted(planted.members)[:4] + [0]
+        results = {}
+        for engine in available_engines():
+            runner = DistNearCliqueRunner(
+                epsilon=0.25,
+                sample_probability=0.1,
+                max_sample_size=None,
+                rng=random.Random(5),
+                engine=engine,
+            )
+            result = runner.run(graph, sample=sample)
+            results[engine] = (result.labels, result.metrics.rounds,
+                               result.metrics.total_bits)
+        assert results["reference"] == results["batched"]
+
+
+class TestEngineRegistry:
+    def test_available_engines(self):
+        assert available_engines() == ("batched", "reference")
+
+    def test_get_engine_by_name(self):
+        assert get_engine("reference").name == "reference"
+        assert get_engine("batched").name == "batched"
+
+    def test_get_engine_passthrough(self):
+        engine = get_engine("batched")
+        assert get_engine(engine) is engine
+
+    def test_get_engine_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            get_engine("warp-drive")
+
+    def test_config_carries_engine(self):
+        config = CongestConfig().with_engine("batched")
+        assert config.engine == "batched"
+        assert config.with_log_budget(64).engine == "batched"
+        assert config.with_max_rounds(5).engine == "batched"

@@ -1,0 +1,269 @@
+"""Seeded randomized property tests for the execution-engine invariants.
+
+Complementing the differential suite (which checks reference == batched),
+these tests check that *both* engines uphold the simulator's model
+guarantees on randomized workloads driven by stdlib ``random``:
+
+* one message per edge direction per round (and violations raise);
+* the per-message bit budget is enforced, never merely measured;
+* the batched engine's active-frontier skipping never starves a node: a
+  message sent to a node that has not halted is delivered exactly once, in
+  the next round, no matter how long the node has been silent;
+* the ``_STALL_LIMIT`` quiesce path: a protocol that is silent for exactly
+  ``_STALL_LIMIT - 1`` rounds and then resumes is not declared stalled.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.congest.config import CongestConfig
+from repro.congest.engine import available_engines
+from repro.congest.errors import (
+    CongestionViolation,
+    MessageSizeViolation,
+    ProtocolError,
+)
+from repro.congest.message import Message
+from repro.congest.network import Network
+from repro.congest.node import Protocol
+from repro.congest.scheduler import _STALL_LIMIT, run_protocol
+
+ENGINES = available_engines()
+
+
+class RandomTrafficProtocol(Protocol):
+    """Random gossip with per-node random halt rounds, fully instrumented.
+
+    Every active node sends one message to a random non-empty subset of its
+    neighbours each round and logs every send and every receive on the
+    protocol instance.  Node v halts at the end of round ``halt_round[v]``.
+    The logs let the tests replay the delivery discipline after the fact.
+    """
+
+    name = "random-traffic"
+
+    def __init__(self, seed: int, max_halt_round: int = 8) -> None:
+        rng = random.Random(seed)
+        self._traffic_seed = rng.getrandbits(32)
+        self.max_halt_round = max_halt_round
+        self.halt_round = {}
+        self.sent = []  # (round sent, sender, receiver, payload)
+        self.received = []  # (round received, receiver, sender, payload)
+        self.invocations = []  # (round, node, inbox size)
+
+    def _rng_for(self, ctx):
+        key = "_traffic_rng"
+        if key not in ctx.state:
+            ctx.state[key] = random.Random(self._traffic_seed ^ (ctx.node_id * 7919))
+        return ctx.state[key]
+
+    def on_start(self, ctx):
+        rng = self._rng_for(ctx)
+        self.halt_round[ctx.node_id] = rng.randint(1, self.max_halt_round)
+        self._gossip(ctx, round_index=0)
+
+    def _gossip(self, ctx, round_index):
+        if not ctx.neighbors:
+            return
+        rng = self._rng_for(ctx)
+        count = rng.randint(1, len(ctx.neighbors))
+        for neighbor in sorted(rng.sample(list(ctx.neighbors), count)):
+            payload = (ctx.node_id, round_index, rng.randint(0, 1000))
+            ctx.send(neighbor, Message(kind="gossip", payload=payload))
+            self.sent.append((round_index, ctx.node_id, neighbor, payload))
+
+    def on_round(self, ctx, inbox):
+        self.invocations.append((ctx.round_index, ctx.node_id, len(inbox)))
+        for inbound in inbox:
+            self.received.append(
+                (ctx.round_index, ctx.node_id, inbound.sender, inbound.payload)
+            )
+        if ctx.round_index >= self.halt_round[ctx.node_id]:
+            ctx.halt()
+            return
+        self._gossip(ctx, ctx.round_index)
+
+
+def _run_random_traffic(engine, seed, n=18, p=0.3):
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    graph.add_edges_from(nx.path_graph(n).edges())  # no isolated nodes
+    protocol = RandomTrafficProtocol(seed=seed * 31 + 7)
+    network = Network(graph, seed=seed)
+    config = CongestConfig(engine=engine).with_log_budget(n)
+    result = run_protocol(network, protocol, config=config)
+    return protocol, result
+
+
+class TestOneMessagePerEdgePerRound:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_no_edge_carries_two_messages_one_way(self, engine, seed):
+        protocol, result = _run_random_traffic(engine, seed)
+        per_round_pairs = {}
+        for round_sent, sender, receiver, _ in protocol.sent:
+            pairs = per_round_pairs.setdefault(round_sent, set())
+            assert (sender, receiver) not in pairs
+            pairs.add((sender, receiver))
+        # With congestion enforcement, the per-round metrics agree: every
+        # message used a distinct directed edge.  (Round 1's messages_sent
+        # additionally folds in the on_start traffic, per the accounting
+        # convention, so subtract it before comparing.)
+        startup_messages = sum(1 for round_sent, _, _, _ in protocol.sent if round_sent == 0)
+        for rm in result.metrics.per_round:
+            expected = rm.messages_sent - (startup_messages if rm.round_index == 1 else 0)
+            assert rm.edges_used == expected
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_double_send_raises(self, engine):
+        class DoubleSender(Protocol):
+            def on_start(self, ctx):
+                if ctx.neighbors:
+                    target = ctx.neighbors[0]
+                    ctx.send(target, Message(kind="a", payload=(1,)))
+                    ctx.send(target, Message(kind="b", payload=(2,)))
+
+        config = CongestConfig(engine=engine)
+        with pytest.raises(CongestionViolation):
+            run_protocol(Network(nx.path_graph(4)), DoubleSender(), config=config)
+
+
+class TestBitBudgetEnforced:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_within_budget_traffic_is_bounded(self, engine, seed):
+        _, result = _run_random_traffic(engine, seed)
+        budget = CongestConfig().with_log_budget(18).message_bit_budget
+        assert 0 < result.metrics.max_message_bits <= budget
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_oversized_message_raises(self, engine):
+        class BigTalker(Protocol):
+            def on_start(self, ctx):
+                ctx.send_all(Message(kind="big", payload=None, bits=10 ** 6))
+
+        config = CongestConfig(engine=engine).with_log_budget(6)
+        with pytest.raises(MessageSizeViolation):
+            run_protocol(Network(nx.path_graph(6)), BigTalker(), config=config)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_disabled_budget_allows_big_messages(self, engine):
+        class BigTalker(Protocol):
+            def on_start(self, ctx):
+                ctx.send_all(Message(kind="big", payload=None, bits=10 ** 6))
+
+            def on_round(self, ctx, inbox):
+                ctx.halt()
+
+        config = CongestConfig(engine=engine, message_bit_budget=None)
+        result = run_protocol(Network(nx.path_graph(6)), BigTalker(), config=config)
+        assert result.metrics.max_message_bits == 10 ** 6
+
+
+class TestFrontierNeverStarves:
+    """Every message to a not-yet-halted node is delivered, exactly once,
+    exactly one round after it was sent — the frontier may only drop mail
+    addressed to halted nodes."""
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_delivery_is_exact(self, engine, seed):
+        protocol, _ = _run_random_traffic(engine, seed)
+        received = {}
+        for round_received, receiver, sender, payload in protocol.received:
+            key = (round_received, receiver, sender, payload)
+            received[key] = received.get(key, 0) + 1
+
+        for round_sent, sender, receiver, payload in protocol.sent:
+            key = (round_sent + 1, receiver, sender, payload)
+            # halt_round is the round in whose processing the node halts, so
+            # the node still processes mail arriving in that round.
+            if round_sent + 1 <= protocol.halt_round[receiver]:
+                assert received.pop(key, 0) == 1, (
+                    "message %r starved under engine %r" % (key, engine)
+                )
+            else:
+                assert key not in received
+        # ... and nothing was delivered that was never sent.
+        assert not received
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_active_node_invoked_every_round(self, engine, seed):
+        protocol, result = _run_random_traffic(engine, seed)
+        invoked = {}
+        for round_index, node, _ in protocol.invocations:
+            invoked.setdefault(node, set()).add(round_index)
+        for node, halt_round in protocol.halt_round.items():
+            expected = set(range(1, min(halt_round, result.metrics.rounds) + 1))
+            assert expected <= invoked.get(node, set())
+
+
+class TestStallAndQuiesce:
+    """Regression tests for the ``_STALL_LIMIT`` quiesce path."""
+
+    class SilentThenResume(Protocol):
+        """Node 1 receives a ping, stays silent for exactly two rounds, then
+        replies — one short of ``_STALL_LIMIT``, so no engine may declare the
+        protocol stalled."""
+
+        name = "silent-then-resume"
+        quiesce_terminates = False
+        SILENT_ROUNDS = _STALL_LIMIT - 1
+
+        def on_start(self, ctx):
+            if ctx.node_id == 0:
+                ctx.send(1, Message(kind="ping", payload=None))
+                ctx.halt()
+            elif ctx.node_id != 1:
+                ctx.halt()
+
+        def on_round(self, ctx, inbox):
+            if any(inbound.kind == "ping" for inbound in inbox):
+                ctx.state["ping_round"] = ctx.round_index
+                return
+            ping_round = ctx.state.get("ping_round")
+            if ping_round is not None and ctx.round_index == ping_round + self.SILENT_ROUNDS:
+                ctx.send(0, Message(kind="pong", payload=None))
+                ctx.write_output("resumed")
+                ctx.halt()
+
+        def collect_output(self, ctx):
+            return ctx.output
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_two_silent_rounds_then_resume_is_not_a_stall(self, engine):
+        graph = nx.path_graph(3)
+        config = CongestConfig(engine=engine)
+        result = run_protocol(Network(graph, seed=1), self.SilentThenResume(), config=config)
+        assert result.outputs[1] == "resumed"
+        # ping round + (_STALL_LIMIT - 1) silent rounds + the resume round
+        assert result.metrics.rounds == 1 + self.SilentThenResume.SILENT_ROUNDS + 1
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_full_silence_still_detected_as_stall(self, engine):
+        class NeverTerminates(Protocol):
+            def on_round(self, ctx, inbox):
+                ctx.state["spin"] = ctx.state.get("spin", 0) + 1
+
+        config = CongestConfig(engine=engine)
+        with pytest.raises(ProtocolError, match="stalled"):
+            run_protocol(Network(nx.path_graph(5)), NeverTerminates(), config=config)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_quiesce_terminates_skips_the_stall_counter(self, engine):
+        class SilentQuiescer(Protocol):
+            quiesce_terminates = True
+
+            def on_start(self, ctx):
+                ctx.send_all(Message(kind="one", payload=None))
+
+            def on_round(self, ctx, inbox):
+                ctx.write_output(len(inbox))
+
+        config = CongestConfig(engine=engine)
+        result = run_protocol(Network(nx.path_graph(4), seed=2), SilentQuiescer(), config=config)
+        assert result.metrics.rounds >= 1

@@ -167,3 +167,37 @@ class TestTolerantTester:
     def test_empty_graph(self):
         tester = TolerantNearCliqueTester(rho=0.4, epsilon_1=0.01, epsilon_2=0.2)
         assert not tester.test(nx.Graph()).accepted
+
+    @pytest.mark.parametrize("congest_engine", ["reference", "batched"])
+    def test_find_distributed_runs_the_congest_algorithm(self, congest_engine):
+        graph, _ = generators.planted_near_clique(60, 0.4, 0.02, 0.05, seed=4)
+        tester = TolerantNearCliqueTester(
+            rho=0.4,
+            epsilon_1=0.02,
+            epsilon_2=0.3,
+            rng=random.Random(8),
+            congest_engine=congest_engine,
+        )
+        result = tester.find_distributed(graph)
+        assert set(result.labels) == set(graph.nodes())
+        assert result.metrics is not None and result.metrics.rounds > 0
+
+    def test_find_distributed_identical_across_engines(self):
+        graph, _ = generators.planted_near_clique(60, 0.4, 0.02, 0.05, seed=4)
+        results = {}
+        for congest_engine in ("reference", "batched"):
+            tester = TolerantNearCliqueTester(
+                rho=0.4,
+                epsilon_1=0.02,
+                epsilon_2=0.3,
+                rng=random.Random(8),
+                congest_engine=congest_engine,
+            )
+            result = tester.find_distributed(graph)
+            results[congest_engine] = (
+                result.labels,
+                result.sample,
+                result.metrics.rounds,
+                result.metrics.total_bits,
+            )
+        assert results["reference"] == results["batched"]
