@@ -1,0 +1,195 @@
+"""E13 — asynchronous execution: synchronizer control overhead vs pulses.
+
+Section 2 of the paper invokes Awerbuch's synchronizers to argue the
+algorithm runs unchanged in asynchronous networks.  The ``async`` engine
+(:mod:`repro.congest.synchronizer`) makes that claim executable; this
+benchmark quantifies its price.  The alpha synchronizer costs
+
+* one acknowledgement per payload message, and
+* one safety notification per edge direction per pulse,
+
+so the control-message count is ``protocol_messages + 2·|E|·(pulses + 1)``
+— linear in the pulse count with slope 2·|E|, independent of the protocol's
+own chattiness.  The benchmark runs the full ``DistNearClique`` pipeline
+and a BFS-tree primitive across workload scales under the ``async`` engine,
+asserts the outputs and protocol metrics are bit-identical to the
+``reference`` engine (the engine contract — a fast-but-wrong backend cannot
+"win"), checks the measured overhead against the closed form above, and
+prints overhead-per-pulse and overhead-per-payload-message ratios.
+
+Quick mode (``REPRO_BENCH_QUICK=1`` or ``--quick``) shrinks the workloads
+so the benchmark doubles as a CI regression gate for the async engine's
+accounting invariants.
+
+Run directly (``python benchmarks/bench_e13_async_overhead.py``) or via the
+pytest-benchmark harness like the other experiments.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import sys
+
+import networkx as nx
+
+from repro.analysis import tables
+from repro.congest.config import CongestConfig
+from repro.congest.network import Network
+from repro.congest.scheduler import run_protocol
+from repro.core.dist_near_clique import DistNearCliqueRunner
+from repro.graphs import generators
+from repro.primitives.bfs_tree import KEY_PARTICIPANT, MinIdBFSTreeProtocol
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0") or "0"))
+
+
+def _workloads(quick: bool):
+    sizes = (60, 120) if quick else (100, 250, 500)
+    for n in sizes:
+        graph, _ = generators.planted_near_clique(
+            n=n, clique_fraction=0.4, epsilon=0.008, background_p=0.03, seed=13
+        )
+        yield "planted (n=%d)" % n, graph
+    n = 80 if quick else 300
+    yield "gnp (n=%d)" % n, nx.gnp_random_graph(n, 4.0 / n, seed=8)
+
+
+def _bfs_row(name, graph):
+    """BFS-tree primitive: one protocol, clean overhead decomposition."""
+    per_node = {v: {KEY_PARTICIPANT: True} for v in graph.nodes()}
+    results = {}
+    for engine in ("reference", "async"):
+        network = Network(graph, seed=31)
+        config = CongestConfig(engine=engine).with_log_budget(
+            max(2, graph.number_of_nodes())
+        )
+        results[engine] = run_protocol(
+            network, MinIdBFSTreeProtocol(), config=config, per_node_inputs=per_node
+        )
+    reference, asynchronous = results["reference"], results["async"]
+
+    assert asynchronous.outputs == reference.outputs
+    metrics = asynchronous.metrics
+    assert metrics.rounds == reference.metrics.rounds
+    assert metrics.total_messages == reference.metrics.total_messages
+    assert metrics.total_bits == reference.metrics.total_bits
+
+    pulses = asynchronous.pulses
+    directed_edges = 2 * graph.number_of_edges()
+    # The closed form of the alpha synchronizer's overhead.
+    assert metrics.ack_messages == metrics.total_messages
+    assert metrics.safety_messages == directed_edges * (pulses + 1)
+
+    control = metrics.control_messages
+    return {
+        "workload": "bfs / " + name,
+        "edges": graph.number_of_edges(),
+        "pulses": pulses,
+        "protocol_messages": metrics.total_messages,
+        "acks": metrics.ack_messages,
+        "safety": metrics.safety_messages,
+        "control_per_pulse": control / max(1, pulses),
+        "control_per_message": control / max(1, metrics.total_messages),
+    }
+
+
+def _pipeline_row(name, graph, sample_size=6):
+    """Full DistNearClique pipeline: overhead aggregated across 14 phases."""
+    sample = sorted(random.Random(5).sample(sorted(graph.nodes()), sample_size))
+    results = {}
+    for engine in ("reference", "async"):
+        runner = DistNearCliqueRunner(
+            epsilon=0.25,
+            sample_probability=sample_size / float(graph.number_of_nodes()),
+            max_sample_size=None,
+            rng=random.Random(42),
+            engine=engine,
+        )
+        results[engine] = runner.run(graph, sample=sample)
+    reference, asynchronous = results["reference"], results["async"]
+
+    assert asynchronous.labels == reference.labels
+    metrics = asynchronous.metrics
+    assert metrics.rounds == reference.metrics.rounds
+    assert metrics.total_messages == reference.metrics.total_messages
+    assert metrics.total_bits == reference.metrics.total_bits
+    assert reference.metrics.control_messages == 0
+    # Aggregated closed form: acks == payload, safety == 2|E|·(rounds + #phases)
+    # (each of the pipeline's phases pays one extra pulse-0 safety flood).
+    assert metrics.ack_messages == metrics.total_messages
+    assert metrics.safety_messages % (2 * graph.number_of_edges()) == 0
+
+    pulses = metrics.rounds
+    control = metrics.control_messages
+    return {
+        "workload": "pipeline / " + name,
+        "edges": graph.number_of_edges(),
+        "pulses": pulses,
+        "protocol_messages": metrics.total_messages,
+        "acks": metrics.ack_messages,
+        "safety": metrics.safety_messages,
+        "control_per_pulse": control / max(1, pulses),
+        "control_per_message": control / max(1, metrics.total_messages),
+    }
+
+
+def _run_suite(quick: bool):
+    rows = []
+    workloads = list(_workloads(quick))
+    for name, graph in workloads:
+        rows.append(_bfs_row(name, graph))
+    # The pipeline is heavier; run it on the smallest workload only.
+    rows.append(_pipeline_row(*workloads[0]))
+
+    tables.print_table(
+        [
+            "workload",
+            "edges",
+            "pulses",
+            "payload msgs",
+            "acks",
+            "safety",
+            "control/pulse",
+            "control/msg",
+        ],
+        [
+            [
+                row["workload"],
+                row["edges"],
+                row["pulses"],
+                row["protocol_messages"],
+                row["acks"],
+                row["safety"],
+                round(row["control_per_pulse"], 1),
+                round(row["control_per_message"], 2),
+            ]
+            for row in rows
+        ],
+        title="E13  async engine: synchronizer control overhead vs pulses",
+    )
+
+    # Safety traffic per pulse is 2|E| exactly, so control/pulse must grow
+    # with the edge count while control/msg stays a small constant factor.
+    for row in rows:
+        assert row["control_per_pulse"] >= 2 * row["edges"], row["workload"]
+    return rows
+
+
+def bench_e13_async_overhead(benchmark):
+    """pytest-benchmark entry point, matching the other E* modules."""
+    _run_suite(QUICK)
+
+    name, graph = next(iter(_workloads(quick=True)))
+    benchmark(lambda: _bfs_row(name, graph))
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    quick = QUICK or "--quick" in argv
+    _run_suite(quick)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,6 +27,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import tables
+from repro.congest.engine import available_engines
 from repro.core import near_clique
 from repro.core.boosting import BoostedNearCliqueRunner
 from repro.core.dist_near_clique import DistNearCliqueRunner
@@ -56,10 +57,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     find.add_argument(
         "--congest-engine",
-        choices=("reference", "batched"),
+        choices=available_engines(),
         default="reference",
         help="CONGEST execution engine for the distributed/boosted finders "
-        "(bit-identical results; 'batched' is the fast path)",
+        "(bit-identical results; 'batched' is the fast path, 'async' runs "
+        "over asynchronous links behind an alpha synchronizer)",
     )
     find.add_argument("--expected-sample", type=float, default=8.0, help="target E[|S|] = p*n")
     find.add_argument("--max-sample", type=int, default=13, help="Section 4.1 abort threshold on |S|")
@@ -159,6 +161,10 @@ def _cmd_find(args) -> int:
                 ["max message bits", result.metrics.max_message_bits],
             ]
         )
+        if result.metrics.control_messages:
+            summary.append(
+                ["synchronizer control messages", result.metrics.control_messages]
+            )
     tables.print_table(["measure", "value"], summary, title="Run summary")
     return 0
 

@@ -29,20 +29,37 @@ This package simulates that model in-process.  The pieces are:
     The round-driving entry points, including congestion enforcement (at
     most one message per edge direction per round) and message-size checks.
 
-``Engine`` / ``ReferenceEngine`` / ``BatchedEngine``
-    Pluggable implementations of the round loop itself: the reference
-    per-object execution and a CSR-backed batched fast path that is
-    guaranteed bit-identical to it (select with ``CongestConfig.engine`` or
-    the ``engine=`` argument of ``run_protocol``).
+``Engine`` and its implementations
+    Pluggable implementations of the round loop itself, selected with
+    ``CongestConfig.engine`` or the ``engine=`` argument of
+    ``run_protocol``.  All engines are bit-identical in outputs and
+    protocol metrics; the differential suite
+    (``tests/test_engine_equivalence.py``) enforces the contract.
+
+    ==============  ===================  =====================================
+    ``engine=``     class                execution
+    ==============  ===================  =====================================
+    ``reference``   ``ReferenceEngine``  per-object round loop; the
+                                         semantics oracle
+    ``batched``     ``BatchedEngine``    CSR flat-array fast path with an
+                                         active frontier; ≥2× faster at
+                                         n≈2000
+    ``async``       ``AsyncEngine``      event-driven asynchronous links
+                                         under an alpha synchronizer;
+                                         ack/safety overhead reported in the
+                                         metrics' control fields
+    ==============  ===================  =====================================
 
 ``metrics``
     Round, message, and bit accounting used by the complexity experiments
-    (E2, E5, E6 in DESIGN.md).
+    (E2, E5, E6 in DESIGN.md), including the async engine's control-message
+    overhead fields.
 
 ``AlphaSynchronizer``
-    An asynchronous execution wrapper showing that, as the paper notes, the
-    synchronous algorithm can be executed in an asynchronous environment
-    using a synchronizer.
+    Pre-engine convenience wrapper around ``AsyncEngine`` showing that, as
+    the paper notes, the synchronous algorithm can be executed in an
+    asynchronous environment using a synchronizer; prefer
+    ``run_protocol(..., engine="async")`` in new code.
 """
 
 from repro.congest.config import CongestConfig
@@ -52,6 +69,7 @@ from repro.congest.engine import (
     ReferenceEngine,
     available_engines,
     get_engine,
+    register_engine,
 )
 from repro.congest.errors import (
     CongestError,
@@ -65,7 +83,7 @@ from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.network import Network
 from repro.congest.node import NodeContext, Protocol
 from repro.congest.scheduler import RunResult, SynchronousScheduler, run_protocol
-from repro.congest.synchronizer import AlphaSynchronizer, AsyncRunResult
+from repro.congest.synchronizer import AlphaSynchronizer, AsyncEngine, AsyncRunResult
 
 __all__ = [
     "CongestConfig",
@@ -87,8 +105,10 @@ __all__ = [
     "Engine",
     "ReferenceEngine",
     "BatchedEngine",
+    "AsyncEngine",
     "available_engines",
     "get_engine",
+    "register_engine",
     "RoundMetrics",
     "RunMetrics",
     "AlphaSynchronizer",

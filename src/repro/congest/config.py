@@ -44,10 +44,14 @@ class CongestConfig:
         very long runs to save memory.
     engine:
         Name of the execution engine driving the round loop —
-        ``"reference"`` (the per-object semantics oracle) or ``"batched"``
-        (the CSR-backed fast path); see :mod:`repro.congest.engine`.  The
-        two are guaranteed to produce bit-identical results, so the choice
-        is purely a throughput knob.
+        ``"reference"`` (the per-object semantics oracle), ``"batched"``
+        (the CSR-backed fast path) or ``"async"`` (the event-driven
+        alpha-synchronizer backend); see :mod:`repro.congest.engine`.  All
+        engines are guaranteed to produce bit-identical outputs and
+        protocol metrics, so the choice is an execution-model / throughput
+        knob: ``"async"`` additionally reports the synchronizer's
+        control-message overhead in the metrics' ``ack_messages`` /
+        ``safety_messages`` fields.
     """
 
     max_rounds: Optional[int] = None

@@ -3,7 +3,7 @@
 The round loop that drives a :class:`repro.congest.node.Protocol` over a
 :class:`repro.congest.network.Network` is factored out of the scheduler into
 an :class:`Engine` so that alternative executions (batched, sharded, async
-backends) can be plugged in without touching protocol code.  Two engines
+backends) can be plugged in without touching protocol code.  Three engines
 ship today:
 
 ``ReferenceEngine`` (``engine="reference"``)
@@ -28,14 +28,25 @@ ship today:
       is maintained incrementally, so silent or halted regions of the graph
       cost nothing per round instead of O(n).
 
+``AsyncEngine`` (``engine="async"``, defined in
+:mod:`repro.congest.synchronizer`)
+    An event-driven asynchronous execution under Awerbuch's alpha
+    synchronizer: every message experiences a random link delay and pulses
+    are gated by acknowledgement / safety notifications.  Outputs, pulse
+    count and protocol message/bit metrics are bit-identical to the
+    synchronous engines; the synchronizer's control overhead is reported in
+    the separate ``ack_messages`` / ``safety_messages`` metrics fields.
+
 **The reference-vs-fast-path contract.**  For every protocol, graph, seed
-and configuration, ``BatchedEngine`` must produce bit-identical results to
-``ReferenceEngine``: the same per-node outputs, the same round count, and
-the same message/bit metrics (including the per-round trace).  The
-differential suite in ``tests/test_engine_equivalence.py`` asserts this for
-every protocol in the package; any observable divergence is a bug in the
-fast path, never a tolerated approximation.  Two consequences for engine
-authors:
+and configuration, every non-reference engine must produce bit-identical
+results to ``ReferenceEngine``: the same per-node outputs, the same round
+(or pulse) count, and the same protocol message/bit metrics (including the
+per-round trace).  Engine-specific *control* traffic — for example the
+async engine's acks — is excluded from the protocol metrics and reported in
+dedicated fields instead.  The differential suite in
+``tests/test_engine_equivalence.py`` asserts this for every protocol in the
+package; any observable divergence is a bug in the backend, never a
+tolerated approximation.  Two consequences for engine authors:
 
 * inbox ordering is part of the contract — messages are delivered grouped
   by sender in ascending node-id order, multiple messages from one sender
@@ -446,7 +457,9 @@ class BatchedEngine(Engine):
         return RunResult(outputs=outputs, metrics=metrics, contexts=contexts)
 
 
-#: Shared engine singletons, keyed by registry name.
+#: Shared engine singletons, keyed by registry name.  ``AsyncEngine``
+#: registers itself here when :mod:`repro.congest.synchronizer` is imported
+#: (see :func:`register_engine`).
 ENGINES: Dict[str, Engine] = {
     ReferenceEngine.name: ReferenceEngine(),
     BatchedEngine.name: BatchedEngine(),
@@ -457,8 +470,25 @@ ENGINES: Dict[str, Engine] = {
 DEFAULT_ENGINE = ReferenceEngine.name
 
 
+def register_engine(engine: Engine) -> None:
+    """Register *engine* under its :attr:`Engine.name` in the registry.
+
+    Re-registration under the same name replaces the previous instance,
+    which keeps module reloads idempotent.
+    """
+    ENGINES[engine.name] = engine
+
+
+def _ensure_builtin_engines() -> None:
+    # AsyncEngine lives in synchronizer.py (which imports this module, so a
+    # top-level import here would be circular); importing it lazily makes
+    # the registry complete no matter which module the caller reached first.
+    import repro.congest.synchronizer  # noqa: F401
+
+
 def available_engines() -> Tuple[str, ...]:
     """Registry names of the engines that can be selected."""
+    _ensure_builtin_engines()
     return tuple(sorted(ENGINES))
 
 
@@ -473,6 +503,7 @@ def get_engine(spec: Union[None, str, Engine] = None) -> Engine:
         return ENGINES[DEFAULT_ENGINE]
     if isinstance(spec, Engine):
         return spec
+    _ensure_builtin_engines()
     try:
         return ENGINES[spec]
     except KeyError:

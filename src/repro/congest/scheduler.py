@@ -10,8 +10,10 @@ The scheduler drives a :class:`repro.congest.node.Protocol` over a
 
 The round loop itself lives in :mod:`repro.congest.engine`, behind a
 pluggable :class:`repro.congest.engine.Engine` interface: ``"reference"``
-is the semantics oracle, ``"batched"`` the CSR-backed fast path, and the
-two are guaranteed to produce bit-identical results (see that module's
+is the semantics oracle, ``"batched"`` the CSR-backed fast path, and
+``"async"`` the event-driven alpha-synchronizer backend
+(:mod:`repro.congest.synchronizer`); all are guaranteed to produce
+bit-identical outputs and protocol metrics (see the engine module's
 docstring for the contract).  The engine is chosen by the ``engine``
 argument here, falling back to :attr:`CongestConfig.engine`.
 
@@ -61,8 +63,9 @@ class SynchronousScheduler:
         As documented on :func:`run_protocol`.
     engine:
         Execution-engine selector — a registry name (``"reference"``,
-        ``"batched"``), an :class:`repro.congest.engine.Engine` instance, or
-        ``None`` to use ``config.engine``.
+        ``"batched"``, ``"async"``), an
+        :class:`repro.congest.engine.Engine` instance, or ``None`` to use
+        ``config.engine``.
     """
 
     def __init__(

@@ -111,8 +111,11 @@ class BoostedNearCliqueRunner:
         self.parameters = parameters
         self.repetitions = repetitions
         self.engine = engine
-        #: CONGEST execution engine for the "distributed" variant (see
-        #: :mod:`repro.congest.engine`); ``None`` keeps the simulator default.
+        #: CONGEST execution engine for the "distributed" variant —
+        #: ``"reference"``, ``"batched"`` or ``"async"`` (see
+        #: :mod:`repro.congest.engine`); ``None`` keeps the simulator
+        #: default.  Bit-identical by the engine contract, so the boosted
+        #: statistics are engine-independent.
         self.congest_engine = congest_engine
         self.rng = rng or random.Random()
 

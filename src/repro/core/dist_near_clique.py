@@ -67,10 +67,13 @@ class DistNearCliqueRunner:
         one-message-per-edge rule and a ``12·log₂ n``-bit message budget
         (checked, not just measured).
     engine:
-        Execution-engine selector (``"reference"`` or ``"batched"``, see
-        :mod:`repro.congest.engine`) applied on top of *config*.  ``None``
-        keeps the configuration's engine.  Both engines produce bit-identical
-        results, so this is purely a throughput knob.
+        Execution-engine selector (``"reference"``, ``"batched"`` or
+        ``"async"``, see :mod:`repro.congest.engine`) applied on top of
+        *config*.  ``None`` keeps the configuration's engine.  All engines
+        produce bit-identical outputs and protocol metrics, so this is an
+        execution-model / throughput knob; under ``"async"`` every phase
+        runs over asynchronous links behind an alpha synchronizer and the
+        merged metrics additionally report the control-message overhead.
     """
 
     def __init__(

@@ -58,8 +58,9 @@ class TolerantNearCliqueTester:
     congest_engine:
         Execution engine used by :meth:`find_distributed` when the sampled
         decision is re-run as the paper's actual CONGEST algorithm
-        (``"reference"`` or ``"batched"``; see :mod:`repro.congest.engine`).
-        ``None`` keeps the simulator default.
+        (``"reference"``, ``"batched"`` or ``"async"``; see
+        :mod:`repro.congest.engine`).  ``None`` keeps the simulator
+        default.
     """
 
     def __init__(
@@ -168,8 +169,9 @@ class TolerantNearCliqueTester:
         point being that its construction *is* a distributed implementation
         of the tester.  The CONGEST simulation is executed under
         :attr:`congest_engine`, so large accept-side instances can use the
-        batched fast path without changing the verdict (engines are
-        bit-identical by contract).
+        batched fast path — or demonstrate the Section 2 claim end to end
+        over asynchronous links with ``"async"`` — without changing the
+        verdict (engines are bit-identical by contract).
 
         Returns the :class:`repro.core.result.NearCliqueResult` of one run.
         """

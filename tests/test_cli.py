@@ -55,7 +55,7 @@ class TestFindCommand:
         assert exit_code == 0
         assert "recall of planted set" in captured.out
 
-    @pytest.mark.parametrize("congest_engine", ["reference", "batched"])
+    @pytest.mark.parametrize("congest_engine", ["reference", "batched", "async"])
     def test_congest_engine_selection(self, capsys, congest_engine):
         exit_code = cli.main(
             [
@@ -80,7 +80,7 @@ class TestFindCommand:
 
     def test_congest_engines_print_identical_reports(self, capsys):
         reports = {}
-        for congest_engine in ("reference", "batched"):
+        for congest_engine in ("reference", "batched", "async"):
             exit_code = cli.main(
                 [
                     "find",
@@ -97,6 +97,20 @@ class TestFindCommand:
             assert exit_code == 0
             reports[congest_engine] = capsys.readouterr().out
         assert reports["reference"] == reports["batched"]
+        # The async report additionally carries the synchronizer-overhead
+        # row (which widens the table columns); every value above it —
+        # clusters, sample, rounds, messages — is identical to the
+        # synchronous engines, per the engine contract.
+        def rows(report):
+            return [
+                " ".join(line.split())
+                for line in report.splitlines()
+                if line.strip()
+                and not set(line) <= {"-", " "}  # column-width separator rows
+                and "synchronizer control messages" not in line
+            ]
+
+        assert rows(reports["async"]) == rows(reports["reference"])
 
     def test_boosted_engine(self, capsys):
         exit_code = cli.main(

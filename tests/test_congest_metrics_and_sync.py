@@ -1,4 +1,4 @@
-"""Tests for run metrics and the alpha synchronizer."""
+"""Tests for run metrics and the async (alpha-synchronizer) engine."""
 
 from __future__ import annotations
 
@@ -8,12 +8,18 @@ import networkx as nx
 import pytest
 
 from repro.congest.config import CongestConfig
+from repro.congest.engine import RunResult
+from repro.congest.errors import (
+    CongestError,
+    CongestionViolation,
+    MessageSizeViolation,
+)
 from repro.congest.message import Message
 from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.network import Network
 from repro.congest.node import Protocol
 from repro.congest.scheduler import run_protocol
-from repro.congest.synchronizer import AlphaSynchronizer
+from repro.congest.synchronizer import AlphaSynchronizer, AsyncEngine, AsyncRunResult
 from repro.primitives.bfs_tree import KEY_PARTICIPANT, MinIdBFSTreeProtocol
 from repro.primitives.leader_election import MinIdFloodingProtocol
 
@@ -44,6 +50,15 @@ class TestRunMetrics:
         rm = RoundMetrics(round_index=1)
         run.absorb_round(rm, keep_trace=False)
         assert run.per_round == []
+
+    def test_merge_adds_control_overhead(self):
+        a = RunMetrics(ack_messages=3, safety_messages=5)
+        b = RunMetrics(ack_messages=2, safety_messages=1)
+        a.merge(b, label="async-phase")
+        assert a.ack_messages == 5
+        assert a.safety_messages == 6
+        assert a.control_messages == 11
+        assert a.protocol_breakdown["async-phase"].control_messages == 3
 
     def test_merge_adds_rounds_and_maxes_bits(self):
         a = RunMetrics(rounds=3, total_messages=5, total_bits=100, max_message_bits=20)
@@ -107,7 +122,7 @@ class TestAlphaSynchronizer:
         )
         async_result = runner.run()
         assert async_result.outputs == sync.outputs
-        assert async_result.pulses == max(1, sync.metrics.rounds)
+        assert async_result.pulses == sync.metrics.rounds
 
     def test_matches_on_random_graph(self):
         graph = nx.gnp_random_graph(20, 0.2, seed=5)
@@ -177,3 +192,149 @@ class TestAlphaSynchronizer:
             delay_rng=random.Random(1),
         ).run()
         assert sync.outputs == async_result.outputs
+
+
+class TestAsyncEngineResult:
+    """The async engine returns a real RunResult with wired RunMetrics."""
+
+    def test_result_is_run_result_with_run_metrics(self):
+        graph = nx.path_graph(8)
+        sync = run_protocol(Network(graph, seed=3), _CountdownProtocol())
+        result = run_protocol(
+            Network(graph, seed=3), _CountdownProtocol(), engine="async"
+        )
+        assert isinstance(result, AsyncRunResult)
+        assert isinstance(result, RunResult)
+        assert isinstance(result.metrics, RunMetrics)
+        # Protocol accounting is bit-identical to the synchronous run,
+        # including the per-round trace.
+        assert result.metrics.rounds == sync.metrics.rounds
+        assert result.metrics.total_messages == sync.metrics.total_messages
+        assert result.metrics.total_bits == sync.metrics.total_bits
+        assert result.metrics.max_message_bits == sync.metrics.max_message_bits
+        assert [
+            (r.round_index, r.messages_sent, r.bits_sent, r.active_nodes)
+            for r in result.metrics.per_round
+        ] == [
+            (r.round_index, r.messages_sent, r.bits_sent, r.active_nodes)
+            for r in sync.metrics.per_round
+        ]
+        # Control overhead lives in dedicated fields, never in the totals.
+        assert result.metrics.ack_messages == result.metrics.total_messages
+        assert result.metrics.safety_messages > 0
+
+    def test_back_compat_views_mirror_metrics(self):
+        graph = nx.cycle_graph(6)
+        result = AlphaSynchronizer(
+            Network(graph, seed=2), _CountdownProtocol(), delay_rng=random.Random(4)
+        ).run()
+        assert result.protocol_messages == result.metrics.total_messages
+        assert result.protocol_bits == result.metrics.total_bits
+        assert result.control_messages == result.metrics.control_messages
+
+    def test_respects_record_round_metrics_flag(self):
+        graph = nx.path_graph(6)
+        result = run_protocol(
+            Network(graph, seed=1),
+            _CountdownProtocol(),
+            config=CongestConfig(engine="async", record_round_metrics=False),
+        )
+        assert result.metrics.rounds > 0
+        assert result.metrics.per_round == []
+
+    def test_selectable_via_config_and_argument(self):
+        graph = nx.path_graph(5)
+        by_config = run_protocol(
+            Network(graph, seed=8),
+            _CountdownProtocol(),
+            config=CongestConfig(engine="async"),
+        )
+        by_argument = run_protocol(
+            Network(graph, seed=8), _CountdownProtocol(), engine="async"
+        )
+        assert by_config.outputs == by_argument.outputs
+        assert by_config.pulses == by_argument.pulses
+
+
+class _BigTalker(Protocol):
+    name = "big-talker"
+    quiesce_terminates = True
+
+    def on_start(self, ctx):
+        ctx.send_all(Message(kind="big", payload=None, bits=10 ** 6))
+
+    def on_round(self, ctx, inbox):
+        ctx.halt()
+
+
+class _DoubleSender(Protocol):
+    name = "double-sender"
+    quiesce_terminates = True
+
+    def on_start(self, ctx):
+        if ctx.node_id == 0:
+            ctx.send(1, Message(kind="a", payload=(1,)))
+            ctx.send(1, Message(kind="b", payload=(2,)))
+
+    def on_round(self, ctx, inbox):
+        if inbox:
+            ctx.state["kinds"] = [inbound.kind for inbound in inbox]
+        ctx.halt()
+
+    def collect_output(self, ctx):
+        return ctx.state.get("kinds")
+
+
+class TestAsyncModelRuleEnforcement:
+    """Regression tests: the async dispatch path itself enforces the model
+    rules with the same exception types as the synchronous engines.
+
+    An explicit pulse budget skips the synchronous pre-run, so the only
+    place these violations can surface is ``_dispatch_pulse_output`` — the
+    exact code path that previously let oversized messages sail through and
+    raised a bare ``ProtocolError`` for congestion.
+    """
+
+    def test_oversized_message_raises_message_size_violation(self):
+        engine = AsyncEngine(pulses=1)
+        config = CongestConfig().with_log_budget(6)
+        with pytest.raises(MessageSizeViolation) as excinfo:
+            engine.execute(Network(nx.path_graph(6)), _BigTalker(), config=config)
+        assert excinfo.value.bits == 10 ** 6
+        assert excinfo.value.budget == config.message_bit_budget
+        assert excinfo.value.round_index == 0
+
+    def test_double_send_raises_congestion_violation(self):
+        engine = AsyncEngine(pulses=1)
+        with pytest.raises(CongestionViolation) as excinfo:
+            engine.execute(
+                Network(nx.path_graph(4)), _DoubleSender(), config=CongestConfig()
+            )
+        assert excinfo.value.sender == 0
+        assert excinfo.value.receiver == 1
+        assert excinfo.value.round_index == 0
+
+    def test_violations_are_congest_errors(self):
+        engine = AsyncEngine(pulses=1)
+        with pytest.raises(CongestError):
+            engine.execute(
+                Network(nx.path_graph(4)), _DoubleSender(), config=CongestConfig()
+            )
+
+    def test_disabled_checks_allow_the_traffic(self):
+        config = CongestConfig(enforce_congestion=False, message_bit_budget=None)
+        result = run_protocol(
+            Network(nx.path_graph(4), seed=1),
+            _DoubleSender(),
+            config=config,
+            engine="async",
+        )
+        # Both messages delivered, in send order.
+        assert result.outputs[1] == ["a", "b"]
+        big = run_protocol(
+            Network(nx.path_graph(4), seed=1),
+            _BigTalker(),
+            config=CongestConfig(message_bit_budget=None),
+            engine="async",
+        )
+        assert big.metrics.max_message_bits == 10 ** 6

@@ -1,13 +1,21 @@
-"""Differential harness: BatchedEngine must be bit-identical to ReferenceEngine.
+"""Differential harness: every engine must be bit-identical to ReferenceEngine.
 
 The contract (module docstring of :mod:`repro.congest.engine`) is that for
-every protocol, graph, seed and configuration the two engines produce the
-same per-node outputs, the same round count, and the same message/bit
-metrics including the per-round trace.  This suite runs every protocol in
-``repro.primitives`` (plus the full ``DistNearCliqueRunner`` pipeline and
-the shingles baseline, whose overridden ``finished`` exercises the batched
-engine's compatibility path) under both engines on a pool of seeded graphs
-and asserts exact equality.
+every protocol, graph, seed and configuration every registered engine —
+``batched`` and ``async`` today — produces the same per-node outputs, the
+same round/pulse count, and the same protocol message/bit metrics including
+the per-round trace.  Engine-specific control overhead (the async engine's
+acks and safety notifications) is excluded from the fingerprint and checked
+separately.  This suite runs every protocol in ``repro.primitives`` (plus
+the full ``DistNearCliqueRunner`` pipeline, the boosted wrapper, the
+tolerant tester's distributed companion, and the shingles baseline, whose
+overridden ``finished`` exercises the engines' compatibility paths) under
+each engine on a pool of seeded graphs and asserts exact equality.
+
+Every test that compares a backend against the reference is parametrized by
+the backend's registry name, so a failure names the diverging engine in its
+test id — which is also what lets CI run the suite once per engine with
+``-k <engine>``.
 """
 
 from __future__ import annotations
@@ -19,11 +27,13 @@ import pytest
 
 from repro.baselines.shingles import ShinglesProtocol
 from repro.congest.config import CongestConfig
-from repro.congest.engine import available_engines, get_engine
+from repro.congest.engine import ReferenceEngine, available_engines, get_engine
 from repro.congest.network import Network
 from repro.congest.scheduler import run_protocol
+from repro.core.boosting import BoostedNearCliqueRunner
 from repro.core.dist_near_clique import DistNearCliqueRunner
 from repro.graphs import generators
+from repro.proptest.tolerant import TolerantNearCliqueTester
 from repro.primitives.bfs_tree import (
     KEY_PARTICIPANT,
     MinIdBFSTreeProtocol,
@@ -37,6 +47,11 @@ from repro.primitives.convergecast import (
     ConvergecastSumProtocol,
 )
 from repro.primitives.leader_election import MinIdFloodingProtocol
+
+#: The backends differentially tested against the reference oracle.
+FAST_ENGINES = tuple(
+    name for name in available_engines() if name != ReferenceEngine.name
+)
 
 
 def _graph_pool():
@@ -80,7 +95,11 @@ def _trace(metrics):
 
 
 def _fingerprint(result):
-    """Everything the contract promises to keep identical, as one value."""
+    """Everything the contract promises to keep identical, as one value.
+
+    Control overhead (``ack_messages`` / ``safety_messages``) is
+    deliberately absent: it is engine-specific by design.
+    """
     m = result.metrics
     return (
         result.outputs,
@@ -142,62 +161,66 @@ def _run_primitive_suite(graph, engine):
 
 
 class TestPrimitiveEquivalence:
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("graph", [g for _, g in GRAPHS], ids=GRAPH_IDS)
-    def test_primitive_pipeline_identical(self, graph):
+    def test_primitive_pipeline_identical(self, graph, engine):
         reference = _run_primitive_suite(graph, "reference")
-        batched = _run_primitive_suite(graph, "batched")
-        assert reference == batched
+        candidate = _run_primitive_suite(graph, engine)
+        assert candidate == reference, "engine %r diverged" % engine
 
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("seed", [0, 1, 2, 3])
-    def test_partial_participation_identical(self, seed):
+    def test_partial_participation_identical(self, seed, engine):
         graph = nx.gnp_random_graph(20, 0.25, seed=seed)
         rng = random.Random(seed)
         chosen = {v for v in graph.nodes() if rng.random() < 0.4}
         per_node = {v: {KEY_PARTICIPANT: v in chosen} for v in graph.nodes()}
         results = {}
-        for engine in available_engines():
+        for name in ("reference", engine):
             network = Network(graph, seed=77)
-            config = CongestConfig(engine=engine).with_log_budget(20)
+            config = CongestConfig(engine=name).with_log_budget(20)
             result = run_protocol(
                 network, MinIdBFSTreeProtocol(), config=config, per_node_inputs=per_node
             )
-            results[engine] = _fingerprint(result)
-        assert len(set(map(repr, results.values()))) == 1
+            results[name] = _fingerprint(result)
+        assert results[engine] == results["reference"]
 
 
 class TestOverriddenFinishedEquivalence:
     """ShinglesProtocol overrides ``finished`` — the compatibility path."""
 
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("seed", [1, 4])
-    def test_shingles_identical(self, seed):
+    def test_shingles_identical(self, seed, engine):
         graph, _ = generators.shingles_counterexample(n=24, delta=0.5)
         fingerprints = {}
-        for engine in available_engines():
+        for name in ("reference", engine):
             network = Network(graph, seed=seed)
-            config = CongestConfig(engine=engine).with_log_budget(network.n)
+            config = CongestConfig(engine=name).with_log_budget(network.n)
             result = run_protocol(network, ShinglesProtocol(), config=config)
-            fingerprints[engine] = _fingerprint(result)
-        assert fingerprints["reference"] == fingerprints["batched"]
+            fingerprints[name] = _fingerprint(result)
+        assert fingerprints[engine] == fingerprints["reference"]
 
 
 class TestRunnerEquivalence:
     """The whole 14-phase DistNearClique pipeline, sampled and forced."""
 
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
     @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
-    def test_full_runner_identical(self, seed):
+    def test_full_runner_identical(self, seed, engine):
         graph, _ = generators.planted_near_clique(
             n=60, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=seed
         )
         results = {}
-        for engine in available_engines():
+        for name in ("reference", engine):
             runner = DistNearCliqueRunner(
                 epsilon=0.25,
                 sample_probability=0.1,
                 rng=random.Random(1000 + seed),
-                engine=engine,
+                engine=name,
             )
             result = runner.run(graph)
-            results[engine] = (
+            results[name] = (
                 result.labels,
                 result.sample,
                 result.aborted,
@@ -208,35 +231,117 @@ class TestRunnerEquivalence:
                 result.metrics.max_message_bits,
                 _trace(result.metrics),
             )
-        assert results["reference"] == results["batched"]
+        assert results[engine] == results["reference"]
 
-    def test_forced_sample_identical(self):
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_forced_sample_identical(self, engine):
         graph, planted = generators.planted_near_clique(
             n=50, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=11
         )
         sample = sorted(planted.members)[:4] + [0]
         results = {}
-        for engine in available_engines():
+        for name in ("reference", engine):
             runner = DistNearCliqueRunner(
                 epsilon=0.25,
                 sample_probability=0.1,
                 max_sample_size=None,
                 rng=random.Random(5),
-                engine=engine,
+                engine=name,
             )
             result = runner.run(graph, sample=sample)
-            results[engine] = (result.labels, result.metrics.rounds,
-                               result.metrics.total_bits)
-        assert results["reference"] == results["batched"]
+            results[name] = (result.labels, result.metrics.rounds,
+                             result.metrics.total_bits)
+        assert results[engine] == results["reference"]
+
+
+class TestWrapperEquivalence:
+    """The boosted wrapper and the tolerant tester, across engines."""
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_boosted_distributed_identical(self, engine):
+        graph, _ = generators.planted_near_clique(
+            n=40, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=2
+        )
+        results = {}
+        for name in ("reference", engine):
+            runner = BoostedNearCliqueRunner(
+                epsilon=0.25,
+                sample_probability=0.12,
+                repetitions=3,
+                engine="distributed",
+                congest_engine=name,
+                rng=random.Random(99),
+            )
+            result = runner.run(graph)
+            results[name] = (
+                result.labels,
+                result.sample,
+                result.metrics.rounds,
+                result.metrics.total_messages,
+                result.metrics.total_bits,
+            )
+        assert results[engine] == results["reference"]
+
+    @pytest.mark.parametrize("engine", FAST_ENGINES)
+    def test_tolerant_tester_find_distributed_identical(self, engine):
+        graph, _ = generators.planted_near_clique(
+            n=40, clique_fraction=0.6, epsilon=0.008, background_p=0.05, seed=6
+        )
+        results = {}
+        for name in ("reference", engine):
+            tester = TolerantNearCliqueTester(
+                rho=0.5,
+                epsilon_1=0.25 ** 3,
+                epsilon_2=0.25,
+                rng=random.Random(17),
+                congest_engine=name,
+            )
+            result = tester.find_distributed(graph)
+            results[name] = (
+                result.labels,
+                result.sample,
+                result.metrics.rounds,
+                result.metrics.total_bits,
+            )
+        assert results[engine] == results["reference"]
+
+
+class TestAsyncControlOverhead:
+    """The async engine's overhead accounting (engine-specific by design)."""
+
+    def test_control_fields_populated_and_separate(self):
+        graph = nx.gnp_random_graph(18, 0.25, seed=3)
+        per_node = _participants(graph)
+        results = {}
+        for name in ("reference", "async"):
+            network = Network(graph, seed=21)
+            config = CongestConfig(engine=name).with_log_budget(18)
+            results[name] = run_protocol(
+                network, MinIdBFSTreeProtocol(), config=config, per_node_inputs=per_node
+            )
+        reference, asynchronous = results["reference"], results["async"]
+        # Sync engines report zero overhead; the async engine acknowledges
+        # every payload message and floods one safety notification per edge
+        # direction per pulse.
+        assert reference.metrics.control_messages == 0
+        m = asynchronous.metrics
+        assert m.ack_messages == m.total_messages
+        directed_edges = 2 * graph.number_of_edges()
+        assert m.safety_messages == directed_edges * (m.rounds + 1)
+        assert m.control_messages == m.ack_messages + m.safety_messages
+        # ... and none of it leaks into the protocol totals.
+        assert m.total_messages == reference.metrics.total_messages
+        assert m.total_bits == reference.metrics.total_bits
 
 
 class TestEngineRegistry:
     def test_available_engines(self):
-        assert available_engines() == ("batched", "reference")
+        assert available_engines() == ("async", "batched", "reference")
 
     def test_get_engine_by_name(self):
         assert get_engine("reference").name == "reference"
         assert get_engine("batched").name == "batched"
+        assert get_engine("async").name == "async"
 
     def test_get_engine_passthrough(self):
         engine = get_engine("batched")
@@ -247,7 +352,7 @@ class TestEngineRegistry:
             get_engine("warp-drive")
 
     def test_config_carries_engine(self):
-        config = CongestConfig().with_engine("batched")
-        assert config.engine == "batched"
-        assert config.with_log_budget(64).engine == "batched"
-        assert config.with_max_rounds(5).engine == "batched"
+        config = CongestConfig().with_engine("async")
+        assert config.engine == "async"
+        assert config.with_log_budget(64).engine == "async"
+        assert config.with_max_rounds(5).engine == "async"
