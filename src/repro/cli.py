@@ -27,6 +27,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import tables
+from repro.congest.config import CongestConfig
 from repro.congest.engine import available_engines
 from repro.core import near_clique
 from repro.core.boosting import BoostedNearCliqueRunner
@@ -34,6 +35,20 @@ from repro.core.dist_near_clique import DistNearCliqueRunner
 from repro.core.reference import CentralizedNearCliqueFinder
 from repro.core.params import AlgorithmParameters
 from repro.graphs import generators, io
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be at least 1, got %s" % text)
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative, got %s" % text)
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,10 +73,25 @@ def _build_parser() -> argparse.ArgumentParser:
     find.add_argument(
         "--congest-engine",
         choices=available_engines(),
-        default="reference",
+        default=CongestConfig().engine,
         help="CONGEST execution engine for the distributed/boosted finders "
-        "(bit-identical results; 'batched' is the fast path, 'async' runs "
-        "over asynchronous links behind an alpha synchronizer)",
+        "(bit-identical results; 'batched' is the fast path and the default, "
+        "'reference' the semantics oracle, 'async' runs over asynchronous "
+        "links behind an alpha synchronizer, 'sharded' steps graph "
+        "partitions in parallel — see --shards/--shard-workers)",
+    )
+    find.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=CongestConfig().shards,
+        help="shard count for --congest-engine sharded",
+    )
+    find.add_argument(
+        "--shard-workers",
+        type=_nonnegative_int,
+        default=CongestConfig().shard_workers,
+        help="thread-pool width for the sharded engine "
+        "(0 or 1 = serial deterministic mode)",
     )
     find.add_argument("--expected-sample", type=float, default=8.0, help="target E[|S|] = p*n")
     find.add_argument("--max-sample", type=int, default=13, help="Section 4.1 abort threshold on |S|")
@@ -117,16 +147,21 @@ def _cmd_find(args) -> int:
         max_sample_size=args.max_sample,
         min_output_size=args.min_output_size,
     )
+    congest_config = CongestConfig(
+        engine=args.congest_engine,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
+    ).with_log_budget(max(2, n))
     if args.engine == "distributed":
         result = DistNearCliqueRunner(
-            parameters=parameters, rng=rng, engine=args.congest_engine
+            parameters=parameters, rng=rng, config=congest_config
         ).run(graph)
     elif args.engine == "boosted":
         result = BoostedNearCliqueRunner(
             parameters=parameters,
             repetitions=args.repetitions,
             rng=rng,
-            congest_engine=args.congest_engine,
+            congest_config=congest_config,
         ).run(graph)
     else:
         result = CentralizedNearCliqueFinder(

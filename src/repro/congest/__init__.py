@@ -39,15 +39,21 @@ This package simulates that model in-process.  The pieces are:
     ==============  ===================  =====================================
     ``engine=``     class                execution
     ==============  ===================  =====================================
-    ``reference``   ``ReferenceEngine``  per-object round loop; the
-                                         semantics oracle
     ``batched``     ``BatchedEngine``    CSR flat-array fast path with an
                                          active frontier; ≥2× faster at
-                                         n≈2000
+                                         n≈2000.  The default.
+    ``reference``   ``ReferenceEngine``  per-object round loop; the
+                                         semantics oracle of the
+                                         differential harness
     ``async``       ``AsyncEngine``      event-driven asynchronous links
                                          under an alpha synchronizer;
                                          ack/safety overhead reported in the
                                          metrics' control fields
+    ``sharded``     ``ShardedEngine``    partition-parallel execution:
+                                         ``shards`` regions step their own
+                                         frontier (serially or on a thread
+                                         pool, ``shard_workers``) and trade
+                                         boundary messages at round barriers
     ==============  ===================  =====================================
 
 ``metrics``
@@ -83,6 +89,13 @@ from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.network import Network
 from repro.congest.node import NodeContext, Protocol
 from repro.congest.scheduler import RunResult, SynchronousScheduler, run_protocol
+from repro.congest.sharding import (
+    PARTITION_STRATEGIES,
+    ShardPlan,
+    ShardedEngine,
+    ShardingStats,
+    partition_network,
+)
 from repro.congest.synchronizer import AlphaSynchronizer, AsyncEngine, AsyncRunResult
 
 __all__ = [
@@ -106,6 +119,11 @@ __all__ = [
     "ReferenceEngine",
     "BatchedEngine",
     "AsyncEngine",
+    "ShardedEngine",
+    "ShardPlan",
+    "ShardingStats",
+    "PARTITION_STRATEGIES",
+    "partition_network",
     "available_engines",
     "get_engine",
     "register_engine",

@@ -44,14 +44,29 @@ class CongestConfig:
         very long runs to save memory.
     engine:
         Name of the execution engine driving the round loop —
-        ``"reference"`` (the per-object semantics oracle), ``"batched"``
-        (the CSR-backed fast path) or ``"async"`` (the event-driven
-        alpha-synchronizer backend); see :mod:`repro.congest.engine`.  All
-        engines are guaranteed to produce bit-identical outputs and
-        protocol metrics, so the choice is an execution-model / throughput
-        knob: ``"async"`` additionally reports the synchronizer's
-        control-message overhead in the metrics' ``ack_messages`` /
-        ``safety_messages`` fields.
+        ``"batched"`` (the CSR-backed fast path, the default), ``"reference"``
+        (the per-object semantics oracle kept for the differential harness),
+        ``"async"`` (the event-driven alpha-synchronizer backend) or
+        ``"sharded"`` (partition-parallel execution over ``shards`` shards);
+        see :mod:`repro.congest.engine`.  All engines are guaranteed to
+        produce bit-identical outputs and protocol metrics, so the choice is
+        an execution-model / throughput knob: ``"async"`` additionally
+        reports the synchronizer's control-message overhead in the metrics'
+        ``ack_messages`` / ``safety_messages`` fields.  The default flipped
+        from ``"reference"`` to ``"batched"`` once the fast path had
+        survived several releases of differential CI.
+    shards:
+        Shard count for ``engine="sharded"`` (ignored by the other
+        engines).  May exceed the node count; surplus shards are empty.
+    shard_workers:
+        Thread-pool width for the sharded engine.  ``0`` or ``1`` selects
+        the serial deterministic mode (the default, and what the
+        differential harness runs); ``>= 2`` steps shards on a thread pool.
+        Outputs and metrics are bit-identical either way.
+    shard_strategy:
+        Partitioner strategy for the sharded engine — one of
+        :data:`repro.congest.sharding.PARTITION_STRATEGIES`
+        (``"contiguous"``, ``"bfs"``).
     """
 
     max_rounds: Optional[int] = None
@@ -59,7 +74,10 @@ class CongestConfig:
     message_bit_budget: Optional[int] = None
     budget_multiplier: float = 12.0
     record_round_metrics: bool = True
-    engine: str = "reference"
+    engine: str = "batched"
+    shards: int = 4
+    shard_workers: int = 0
+    shard_strategy: str = "contiguous"
 
     def with_log_budget(self, n: int) -> "CongestConfig":
         """Return a copy whose message budget is ``budget_multiplier * log2 n``.
@@ -77,6 +95,25 @@ class CongestConfig:
     def with_engine(self, engine: str) -> "CongestConfig":
         """Return a copy that selects a different execution engine."""
         return replace(self, engine=engine)
+
+    def with_sharding(
+        self,
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        strategy: Optional[str] = None,
+    ) -> "CongestConfig":
+        """Return a copy selecting the sharded engine with the given knobs.
+
+        ``None`` keeps the current value of the corresponding field; the
+        engine is always switched to ``"sharded"``.
+        """
+        return replace(
+            self,
+            engine="sharded",
+            shards=self.shards if shards is None else shards,
+            shard_workers=self.shard_workers if workers is None else workers,
+            shard_strategy=self.shard_strategy if strategy is None else strategy,
+        )
 
     @staticmethod
     def local_model(max_rounds: Optional[int] = None) -> "CongestConfig":

@@ -3,16 +3,17 @@
 The round loop that drives a :class:`repro.congest.node.Protocol` over a
 :class:`repro.congest.network.Network` is factored out of the scheduler into
 an :class:`Engine` so that alternative executions (batched, sharded, async
-backends) can be plugged in without touching protocol code.  Three engines
+backends) can be plugged in without touching protocol code.  Four engines
 ship today:
 
 ``ReferenceEngine`` (``engine="reference"``)
     The original per-object round loop, moved here intact.  It is the
     executable definition of the simulator's semantics: one dict-backed
     inbox per node per round, every context visited every round, model
-    rules enforced as messages are collected.
+    rules enforced as messages are collected.  It is the oracle the
+    differential suite compares every other engine against.
 
-``BatchedEngine`` (``engine="batched"``)
+``BatchedEngine`` (``engine="batched"``, the default)
     A fast path for large networks.  It drives the same protocol callbacks
     but organises the bookkeeping around flat arrays and reuse:
 
@@ -36,6 +37,15 @@ ship today:
     count and protocol message/bit metrics are bit-identical to the
     synchronous engines; the synchronizer's control overhead is reported in
     the separate ``ack_messages`` / ``safety_messages`` metrics fields.
+
+``ShardedEngine`` (``engine="sharded"``, defined in
+:mod:`repro.congest.sharding`)
+    Partition-parallel execution: the network is split into ``k`` shards
+    (:func:`repro.congest.sharding.partition_network`) and each shard steps
+    its own frontier with the batched machinery, exchanging boundary-edge
+    messages at the round barrier — serially by default (the deterministic
+    mode the differential harness runs) or on a thread pool
+    (``CongestConfig.shard_workers``).
 
 **The reference-vs-fast-path contract.**  For every protocol, graph, seed
 and configuration, every non-reference engine must produce bit-identical
@@ -457,17 +467,21 @@ class BatchedEngine(Engine):
         return RunResult(outputs=outputs, metrics=metrics, contexts=contexts)
 
 
-#: Shared engine singletons, keyed by registry name.  ``AsyncEngine``
-#: registers itself here when :mod:`repro.congest.synchronizer` is imported
-#: (see :func:`register_engine`).
+#: Shared engine singletons, keyed by registry name.  ``AsyncEngine`` and
+#: ``ShardedEngine`` register themselves here when their modules
+#: (:mod:`repro.congest.synchronizer`, :mod:`repro.congest.sharding`) are
+#: imported (see :func:`register_engine`).
 ENGINES: Dict[str, Engine] = {
     ReferenceEngine.name: ReferenceEngine(),
     BatchedEngine.name: BatchedEngine(),
 }
 
 #: Name of the engine used when neither the caller nor the configuration
-#: selects one.
-DEFAULT_ENGINE = ReferenceEngine.name
+#: selects one.  The batched fast path has survived multiple releases of
+#: differential CI bit-identical to the reference, so it is the default;
+#: ``ReferenceEngine`` remains the oracle the differential suite compares
+#: against.
+DEFAULT_ENGINE = BatchedEngine.name
 
 
 def register_engine(engine: Engine) -> None:
@@ -480,9 +494,10 @@ def register_engine(engine: Engine) -> None:
 
 
 def _ensure_builtin_engines() -> None:
-    # AsyncEngine lives in synchronizer.py (which imports this module, so a
-    # top-level import here would be circular); importing it lazily makes
+    # AsyncEngine and ShardedEngine live in modules that import this one, so
+    # a top-level import here would be circular; importing them lazily makes
     # the registry complete no matter which module the caller reached first.
+    import repro.congest.sharding  # noqa: F401
     import repro.congest.synchronizer  # noqa: F401
 
 

@@ -119,12 +119,8 @@ class NodeContext:
     # ------------------------------------------------------------------
     # actions
     # ------------------------------------------------------------------
-    def send(self, neighbor: int, message: Message) -> None:
-        """Queue *message* for delivery to *neighbor* at the next round.
-
-        The scheduler enforces the one-message-per-edge-per-round rule and
-        the bit budget; this method only validates adjacency and type.
-        """
+    def _check_can_send(self, message: Message) -> None:
+        """The send-side validations that do not depend on the receiver."""
         if self._halted:
             raise ProtocolError(
                 "node %r attempted to send after halting" % (self.node_id,)
@@ -134,6 +130,14 @@ class NodeContext:
                 "node %r attempted to send a %r instead of a Message"
                 % (self.node_id, type(message).__name__)
             )
+
+    def send(self, neighbor: int, message: Message) -> None:
+        """Queue *message* for delivery to *neighbor* at the next round.
+
+        The scheduler enforces the one-message-per-edge-per-round rule and
+        the bit budget; this method only validates adjacency and type.
+        """
+        self._check_can_send(message)
         if neighbor not in self._neighbor_set():
             raise ProtocolError(
                 "node %r attempted to send to %r which is not a neighbour"
@@ -142,11 +146,45 @@ class NodeContext:
         self._outgoing.setdefault(neighbor, []).append(message)
 
     def send_all(self, message: Message, exclude: Iterable[int] = ()) -> None:
-        """Queue *message* to every neighbour except those in *exclude*."""
-        excluded = set(exclude)
-        for neighbor in self.neighbors:
-            if neighbor not in excluded:
-                self.send(neighbor, message)
+        """Queue *message* to every neighbour except those in *exclude*.
+
+        Broadcast is the hot send path of every protocol in this package
+        (the E12 profile shows per-send validation dominating large runs),
+        so the checks run once here and the queueing goes through the
+        trusted bulk path: adjacency is guaranteed by iterating
+        ``self.neighbors``, and the one-message-per-edge rule remains
+        enforced by the engines when the outbox is drained.
+        """
+        if exclude:
+            excluded = set(exclude)
+            receivers = [v for v in self.neighbors if v not in excluded]
+        else:
+            receivers = self.neighbors
+        if not receivers:
+            # Matches the per-send loop: zero sends means zero validations.
+            return
+        self._check_can_send(message)
+        self._extend_trusted(receivers, message)
+
+    def _extend_trusted(self, receivers: Sequence[int], message: Message) -> None:
+        """Trusted bulk enqueue: one validated message to many receivers.
+
+        Engine/scheduler-facing fast path (the ``Outbox.extend_trusted`` of
+        the roadmap's message-layer item): the caller vouches that *message*
+        passed :meth:`_check_can_send` and that every receiver is a
+        neighbour, so no per-receiver validation runs.  Protocol code must
+        use :meth:`send` / :meth:`send_all` instead — those keep the model's
+        guarantees checkable, and the engines still enforce the
+        one-message-per-edge rule and the bit budget at drain time for
+        every path, trusted or not.
+        """
+        outgoing = self._outgoing
+        for neighbor in receivers:
+            queue = outgoing.get(neighbor)
+            if queue is None:
+                outgoing[neighbor] = [message]
+            else:
+                queue.append(message)
 
     def halt(self) -> None:
         """Declare local termination.

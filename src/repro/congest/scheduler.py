@@ -9,10 +9,12 @@ The scheduler drives a :class:`repro.congest.node.Protocol` over a
    enforced as messages are collected.
 
 The round loop itself lives in :mod:`repro.congest.engine`, behind a
-pluggable :class:`repro.congest.engine.Engine` interface: ``"reference"``
-is the semantics oracle, ``"batched"`` the CSR-backed fast path, and
-``"async"`` the event-driven alpha-synchronizer backend
-(:mod:`repro.congest.synchronizer`); all are guaranteed to produce
+pluggable :class:`repro.congest.engine.Engine` interface: ``"batched"`` is
+the CSR-backed fast path (the default), ``"reference"`` the semantics
+oracle kept for the differential harness, ``"async"`` the event-driven
+alpha-synchronizer backend (:mod:`repro.congest.synchronizer`), and
+``"sharded"`` the partition-parallel backend
+(:mod:`repro.congest.sharding`); all are guaranteed to produce
 bit-identical outputs and protocol metrics (see the engine module's
 docstring for the contract).  The engine is chosen by the ``engine``
 argument here, falling back to :attr:`CongestConfig.engine`.
@@ -63,7 +65,7 @@ class SynchronousScheduler:
         As documented on :func:`run_protocol`.
     engine:
         Execution-engine selector — a registry name (``"reference"``,
-        ``"batched"``, ``"async"``), an
+        ``"batched"``, ``"async"``, ``"sharded"``), an
         :class:`repro.congest.engine.Engine` instance, or ``None`` to use
         ``config.engine``.
     """

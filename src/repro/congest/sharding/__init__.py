@@ -1,0 +1,42 @@
+"""Sharded CONGEST execution: graph partitioning plus a parallel engine.
+
+The paper's algorithm is local by design — every node's work depends only
+on its neighbourhood — which is exactly the structure a sharded executor
+exploits: partition the network into ``k`` regions, step each region's
+round independently, and exchange only the messages that cross a region
+boundary at the round barrier.  This package provides:
+
+:mod:`repro.congest.sharding.partition`
+    :func:`partition_network` splits a network into ``k`` shards over its
+    CSR arrays (deterministic, seeded; ``"contiguous"`` and ``"bfs"``
+    strategies) and returns a :class:`ShardPlan` recording owned nodes,
+    boundary edges and cut statistics.
+
+:mod:`repro.congest.sharding.engine`
+    :class:`ShardedEngine` (``engine="sharded"``) executes a protocol shard
+    by shard — reusing the batched engine's CSR/inbox-buffer machinery per
+    shard — with a serial deterministic mode (the default, used by the
+    differential harness) and a thread-pool mode
+    (``CongestConfig.shard_workers``).  Bit-identical to
+    :class:`repro.congest.engine.ReferenceEngine` by the engine contract,
+    for every shard count and strategy.
+
+Importing this package registers the engine; the registry in
+:mod:`repro.congest.engine` imports it lazily so ``engine="sharded"`` works
+no matter which module a caller reaches first.
+"""
+
+from repro.congest.sharding.engine import ShardedEngine, ShardingStats
+from repro.congest.sharding.partition import (
+    PARTITION_STRATEGIES,
+    ShardPlan,
+    partition_network,
+)
+
+__all__ = [
+    "PARTITION_STRATEGIES",
+    "ShardPlan",
+    "ShardedEngine",
+    "ShardingStats",
+    "partition_network",
+]

@@ -1,0 +1,648 @@
+"""Partition-parallel execution of the synchronous round loop.
+
+:class:`ShardedEngine` (``engine="sharded"``) splits the network into ``k``
+shards with :func:`repro.congest.sharding.partition.partition_network` and
+steps each shard's frontier independently within a round, exchanging the
+messages that cross a shard boundary at the round barrier.  Per shard the
+machinery is the :class:`repro.congest.engine.BatchedEngine` design — dense
+CSR indices, reused inbox buffers, per-sender ``Inbound`` interning, an
+incremental active frontier — restricted to the shard's owned nodes.
+
+**The engine contract applies** (module docstring of
+:mod:`repro.congest.engine`): outputs, round count and protocol
+message/bit metrics — including the per-round trace — are bit-identical to
+:class:`repro.congest.engine.ReferenceEngine` for every shard count,
+strategy and execution mode, and the model rules raise the same
+:class:`repro.congest.errors.MessageSizeViolation` /
+:class:`repro.congest.errors.CongestionViolation` types from the shard-local
+drain.  Two mechanisms make the partition invisible:
+
+* *Inbox-order repair.*  Within one shard, nodes drain in ascending dense
+  index, so a receiver's inbox arrives grouped by sender ascending — the
+  contract order — for free.  Senders owned by *other* shards arrive at the
+  barrier in source-shard order, so any inbox that received boundary mail is
+  stably re-sorted by sender id before delivery (stability preserves the
+  per-sender send order; a sender's messages all originate in one shard).
+* *Barrier-time aggregation.*  Round metrics are accumulated per shard and
+  folded in ascending shard order at the barrier — sums for message/bit
+  counts, ``max`` for the message-size peak — so the global
+  :class:`repro.congest.metrics.RoundMetrics` equals the reference's
+  regardless of how the round's work was interleaved.  Termination (all
+  frontiers empty, no messages in flight), quiescence and the stall counter
+  are evaluated by the coordinator on the aggregated view, exactly like the
+  single-shard engines.
+
+Execution modes
+---------------
+``shard_workers <= 1`` (the default, and the registry instance's mode) steps
+the shards sequentially in ascending shard order — fully deterministic,
+which is what the differential harness runs.  ``shard_workers >= 2`` steps
+the shards on a thread pool; shard state is disjoint by construction (a
+shard only touches the contexts and inbox buffers of the nodes it owns, and
+writes cross-shard messages into its own per-destination buckets), so the
+pool only changes wall-clock interleaving, never the result.  Note that a
+*protocol* that mutates shared instrumentation state in its callbacks (for
+example a test harness appending to one global log) will observe a
+nondeterministic interleaving under thread mode; outputs and metrics remain
+bit-identical either way.
+"""
+
+from __future__ import annotations
+
+import operator
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.congest.config import CongestConfig
+from repro.congest.engine import (
+    _EMPTY_INBOX,
+    _STALL_LIMIT,
+    Engine,
+    RunResult,
+    register_engine,
+)
+from repro.congest.errors import (
+    CongestionViolation,
+    MessageSizeViolation,
+    ProtocolError,
+    RoundLimitExceeded,
+)
+from repro.congest.message import Inbound
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.network import Network
+from repro.congest.node import NodeContext, Protocol
+from repro.congest.sharding.partition import (
+    ShardPlan,
+    cached_partition,
+)
+
+#: Stable-sort key restoring the contract's ascending-sender inbox order
+#: (C-implemented: this runs on every boundary inbox every round).
+_sender_key = operator.attrgetter("sender")
+
+
+class _ShardState:
+    """All mutable per-shard state of one sharded execution.
+
+    A shard owns a subset of the dense indices; during a round it reads and
+    writes only the contexts and inbox buffers of its owned nodes plus its
+    own outbound buckets, which is the disjointness that makes thread-mode
+    execution safe without locks.
+    """
+
+    __slots__ = (
+        "index",
+        "owned",
+        "frontier",
+        "pending_index",
+        "pending_inbound",
+        "remote_from",
+        "out_buckets",
+        "interned",
+        "touched",
+        "remote_messages",
+        "local_messages",
+    )
+
+    def __init__(self, index: int, owned: Sequence[int], n_shards: int) -> None:
+        self.index = index
+        self.owned: Tuple[int, ...] = tuple(owned)
+        self.frontier: List[int] = []
+        # Shard-local deliveries (receiver owned by this shard), as the
+        # batched engine's two parallel flat lists.
+        self.pending_index: List[int] = []
+        self.pending_inbound: List[Inbound] = []
+        # Boundary deliveries routed *to* this shard at the last barrier,
+        # kept grouped by source shard so delivery can walk the groups in
+        # ascending sender order (see ``_ShardedRun.ordered_delivery``).
+        # Each group is two parallel flat lists (receiver index / Inbound),
+        # like the local pending lists — no tuple per boundary message.
+        self.remote_from: List[Tuple[List[int], List[Inbound]]] = [
+            ([], []) for _ in range(n_shards)
+        ]
+        # Boundary messages produced by this shard, bucketed by destination,
+        # in the same parallel-list shape.
+        self.out_buckets: List[Tuple[List[int], List[Inbound]]] = [
+            ([], []) for _ in range(n_shards)
+        ]
+        # Per-sender Inbound intern cache, reset every round (per shard:
+        # senders are owned by exactly one shard).
+        self.interned: Dict[int, Dict[int, Inbound]] = {}
+        self.touched: List[int] = []
+        self.remote_messages = 0
+        self.local_messages = 0
+
+    def out_bucket_total(self) -> int:
+        return sum(len(indices) for indices, _ in self.out_buckets)
+
+    def remote_total(self) -> int:
+        return sum(len(indices) for indices, _ in self.remote_from)
+
+
+class ShardingStats:
+    """Cross-shard traffic accounting for one or more sharded executions.
+
+    Populated by :class:`ShardedEngine` when constructed with
+    ``collect_stats=True`` (the registry instance does not collect, keeping
+    it stateless); the E14 benchmark uses this to report the cut-edge
+    message fraction per partitioner strategy.
+    """
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.protocol_messages = 0
+        self.cross_shard_messages = 0
+        self.plans: List[ShardPlan] = []
+
+    @property
+    def cross_shard_fraction(self) -> float:
+        """Fraction of protocol messages that crossed a shard boundary."""
+        if self.protocol_messages == 0:
+            return 0.0
+        return self.cross_shard_messages / self.protocol_messages
+
+
+class _ShardedRun:
+    """One sharded execution (all mutable state lives here, not the engine)."""
+
+    def __init__(
+        self,
+        network: Network,
+        protocol: Protocol,
+        config: CongestConfig,
+        contexts: Dict[int, NodeContext],
+        plan: ShardPlan,
+        workers: int,
+    ) -> None:
+        self.network = network
+        self.protocol = protocol
+        self.config = config
+        self.plan = plan
+
+        ids, _indptr, _indices = network.csr()
+        self.index_of = network.node_index_of
+        self.ctx_list = [contexts[node_id] for node_id in ids]
+        self.contexts = contexts
+
+        self.owner = plan.owner
+        self.shards = [
+            _ShardState(index, owned, plan.n_shards)
+            for index, owned in enumerate(plan.shards)
+        ]
+        # Inbox buffers are shared (one slot per dense index) but each slot
+        # is only ever touched by the shard owning the receiver.
+        self.inbox_buffers: List[List[Inbound]] = [[] for _ in range(len(ids))]
+
+        self.enforce = config.enforce_congestion
+        budget = config.message_bit_budget
+        self.budget = budget
+        self.budget_limit: float = float("inf") if budget is None else budget
+        self.quiesce_ok = bool(getattr(protocol, "quiesce_terminates", False))
+        self.fast_finished = type(protocol).finished is Protocol.finished
+
+        # When every shard's owned-id range is disjoint from and below the
+        # next shard's (always true for the contiguous strategy), delivering
+        # the per-source message groups in shard order yields each inbox
+        # already in ascending-sender order — no per-box sort is needed.
+        ranges = [
+            (owned[0], owned[-1]) for owned in plan.shards if owned
+        ]
+        self.ordered_delivery = all(
+            ranges[i][1] < ranges[i + 1][0] for i in range(len(ranges) - 1)
+        )
+
+        active = [shard for shard in self.shards if shard.owned]
+        self.pool: Optional[ThreadPoolExecutor] = None
+        self.pool_width = 0
+        if workers >= 2 and len(active) >= 2:
+            self.pool_width = min(workers, len(active))
+            self.pool = ThreadPoolExecutor(
+                max_workers=self.pool_width,
+                thread_name_prefix="repro-shard",
+            )
+
+    # ------------------------------------------------------------------
+    def _drain(
+        self,
+        shard: _ShardState,
+        ctx: NodeContext,
+        round_index: int,
+        rm: RoundMetrics,
+        pairs: Optional[Set[Tuple[int, int]]],
+    ) -> None:
+        """Move one node's queued messages into the shard's delivery state.
+
+        The batched engine's drain with one extra step: a receiver owned by
+        another shard routes through the per-destination bucket exchanged at
+        the barrier instead of the local pending lists.  Rule checks and
+        accounting are identical.
+        """
+        sender = ctx.node_id
+        outgoing = ctx._outgoing
+        enforce = self.enforce
+        budget_limit = self.budget_limit
+        index_of = self.index_of
+        owner = self.owner
+        shard_index = shard.index
+        out_buckets = shard.out_buckets
+        append_index = shard.pending_index.append
+        append_inbound = shard.pending_inbound.append
+        messages_seen = 0
+        bits_seen = 0
+        remote_seen = 0
+        max_bits = rm.max_message_bits
+        cache = shard.interned.get(sender)
+        if cache is None:
+            cache = shard.interned[sender] = {}
+        cache_get = cache.get
+        for receiver, messages in outgoing.items():
+            if enforce and len(messages) > 1:
+                raise CongestionViolation(sender, receiver, round_index)
+            receiver_index = index_of[receiver]
+            destination = owner[receiver_index]
+            for message in messages:
+                bits = message.bits
+                if bits > budget_limit:
+                    raise MessageSizeViolation(
+                        sender, receiver, bits, self.budget, round_index
+                    )
+                messages_seen += 1
+                bits_seen += bits
+                if bits > max_bits:
+                    max_bits = bits
+                message_id = id(message)
+                inbound = cache_get(message_id)
+                if inbound is None:
+                    inbound = Inbound(sender=sender, message=message)
+                    cache[message_id] = inbound
+                if destination == shard_index:
+                    append_index(receiver_index)
+                    append_inbound(inbound)
+                else:
+                    remote_seen += 1
+                    bucket_indices, bucket_inbound = out_buckets[destination]
+                    bucket_indices.append(receiver_index)
+                    bucket_inbound.append(inbound)
+                if pairs is not None:
+                    pairs.add((sender, receiver))
+        outgoing.clear()
+        rm.messages_sent += messages_seen
+        rm.bits_sent += bits_seen
+        rm.max_message_bits = max_bits
+        shard.remote_messages += remote_seen
+        shard.local_messages += messages_seen - remote_seen
+
+    # ------------------------------------------------------------------
+    def _start_shard(self, shard: _ShardState) -> RoundMetrics:
+        """Round 0 for one shard: ``on_start`` every owned node, then drain."""
+        rm = RoundMetrics(round_index=0)
+        ctx_list = self.ctx_list
+        protocol = self.protocol
+        for i in shard.owned:
+            ctx = ctx_list[i]
+            ctx._round = 0
+            protocol.on_start(ctx)
+        for i in shard.owned:
+            ctx = ctx_list[i]
+            if ctx._outgoing:
+                self._drain(shard, ctx, 0, rm, None)
+        if self.fast_finished:
+            shard.frontier = [i for i in shard.owned if not ctx_list[i]._halted]
+        return rm
+
+    def _step_shard(self, shard: _ShardState, rounds: int) -> RoundMetrics:
+        """One round for one shard: deliver, invoke the frontier, drain."""
+        rm = RoundMetrics(round_index=rounds)
+        pairs: Optional[Set[Tuple[int, int]]] = None if self.enforce else set()
+        buffers = self.inbox_buffers
+        touched = shard.touched
+
+        # --- delivery -----------------------------------------------------
+        # Local pending and the barrier-routed boundary groups are walked in
+        # ascending source-shard order; when the shard id ranges are ordered
+        # (``ordered_delivery``) that *is* ascending-sender order and the
+        # boxes come out contract-ordered for free.  Otherwise any box that
+        # received boundary mail is stably re-sorted by sender id below —
+        # stability keeps each sender's messages in send order (a sender's
+        # messages all originate in one shard).
+        remote_from = shard.remote_from
+        own_index = shard.index
+        dirty: Optional[Set[int]] = (
+            None if self.ordered_delivery else set()
+        )
+        for source in range(len(remote_from)):
+            if source == own_index:
+                for receiver_index, inbound in zip(
+                    shard.pending_index, shard.pending_inbound
+                ):
+                    box = buffers[receiver_index]
+                    if not box:
+                        touched.append(receiver_index)
+                    box.append(inbound)
+                continue
+            group_indices, group_inbound = remote_from[source]
+            if not group_indices:
+                continue
+            if dirty is None:
+                for receiver_index, inbound in zip(group_indices, group_inbound):
+                    box = buffers[receiver_index]
+                    if not box:
+                        touched.append(receiver_index)
+                    box.append(inbound)
+            else:
+                for receiver_index, inbound in zip(group_indices, group_inbound):
+                    box = buffers[receiver_index]
+                    if not box:
+                        touched.append(receiver_index)
+                    box.append(inbound)
+                    dirty.add(receiver_index)
+            remote_from[source] = ([], [])
+        if dirty:
+            for receiver_index in dirty:
+                box = buffers[receiver_index]
+                if len(box) > 1:
+                    box.sort(key=_sender_key)
+        shard.pending_index = []
+        shard.pending_inbound = []
+        shard.interned.clear()
+
+        # --- invoke + drain ------------------------------------------------
+        ctx_list = self.ctx_list
+        protocol = self.protocol
+        on_round = protocol.on_round
+        if self.fast_finished:
+            frontier = shard.frontier
+            rm.active_nodes = len(frontier)
+            any_halted = False
+            for i in frontier:
+                ctx = ctx_list[i]
+                ctx._round = rounds
+                box = buffers[i]
+                on_round(ctx, box if box else _EMPTY_INBOX)
+                if ctx._halted:
+                    any_halted = True
+                if ctx._outgoing:
+                    self._drain(shard, ctx, rounds, rm, pairs)
+            if any_halted:
+                shard.frontier = [
+                    i for i in frontier if not ctx_list[i]._halted
+                ]
+        else:
+            active = 0
+            finished = protocol.finished
+            for i in shard.owned:
+                ctx = ctx_list[i]
+                ctx._round = rounds
+                if finished(ctx):
+                    continue
+                active += 1
+                box = buffers[i]
+                on_round(ctx, box if box else _EMPTY_INBOX)
+                if ctx._outgoing:
+                    self._drain(shard, ctx, rounds, rm, pairs)
+            rm.active_nodes = active
+
+        for i in touched:
+            buffers[i].clear()
+        del touched[:]
+
+        rm.edges_used = (
+            len(shard.pending_index) + shard.out_bucket_total()
+            if pairs is None
+            else len(pairs)
+        )
+        return rm
+
+    # ------------------------------------------------------------------
+    #: A round whose estimated work (messages in flight plus nodes to
+    #: invoke) falls below this is stepped inline even in thread mode: the
+    #: cross-thread wakeups of a pool dispatch cost more than the round
+    #: itself.  Heavy rounds — where parallelism can pay — still go to the
+    #: pool, so the quiet convergecast tails of a protocol don't turn the
+    #: barrier into pure overhead.
+    POOL_MIN_WORK = 4096
+
+    def _run_shards(self, step, work_hint: int) -> List[RoundMetrics]:
+        """Apply *step* to every non-empty shard, serially or on the pool.
+
+        Thread mode submits one task per *worker* (each stepping a
+        round-robin chunk of shards), not one per shard, so a round costs
+        ``pool_width`` wakeups regardless of the shard count.  Results are
+        re-ordered by shard index before merging, so the folded metrics are
+        mode-independent; a model-rule violation surfaces from whichever
+        chunk raises first, with the same exception type as the serial
+        mode.
+        """
+        active = [shard for shard in self.shards if shard.owned]
+        if self.pool is None or work_hint < self.POOL_MIN_WORK:
+            return [step(shard) for shard in active]
+        width = self.pool_width
+        chunks = [active[offset::width] for offset in range(width)]
+
+        def run_chunk(chunk):
+            return [(shard.index, step(shard)) for shard in chunk]
+
+        futures = [
+            self.pool.submit(run_chunk, chunk) for chunk in chunks if chunk
+        ]
+        indexed: List[Tuple[int, RoundMetrics]] = []
+        for future in futures:
+            indexed.extend(future.result())
+        indexed.sort(key=operator.itemgetter(0))
+        return [rm for _, rm in indexed]
+
+    def _barrier(self, partials: List[RoundMetrics], into: RoundMetrics) -> int:
+        """Fold shard metrics, route boundary buckets, count mail in flight."""
+        for rm in partials:
+            into.messages_sent += rm.messages_sent
+            into.bits_sent += rm.bits_sent
+            into.edges_used += rm.edges_used
+            into.active_nodes += rm.active_nodes
+            if rm.max_message_bits > into.max_message_bits:
+                into.max_message_bits = rm.max_message_bits
+        shards = self.shards
+        for source in shards:
+            buckets = source.out_buckets
+            source_index = source.index
+            for destination_index, bucket in enumerate(buckets):
+                if bucket[0]:
+                    # Hand the lists over wholesale; the source starts the
+                    # next round with a fresh bucket.
+                    shards[destination_index].remote_from[source_index] = bucket
+                    buckets[destination_index] = ([], [])
+        return sum(
+            len(shard.pending_index) + shard.remote_total()
+            for shard in shards
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        config = self.config
+        protocol = self.protocol
+        ctx_list = self.ctx_list
+        metrics = RunMetrics()
+        try:
+            startup_metrics = RoundMetrics(round_index=0)
+            in_flight = self._barrier(
+                self._run_shards(self._start_shard, work_hint=len(ctx_list)),
+                startup_metrics,
+            )
+            startup_metrics.edges_used = 0  # startup edges are not counted
+            startup_metrics.active_nodes = 0
+
+            rounds = 0
+            silent_rounds = 0
+            max_rounds = config.max_rounds
+            while True:
+                if self.fast_finished:
+                    all_done = not any(
+                        shard.frontier for shard in self.shards
+                    )
+                else:
+                    finished = protocol.finished
+                    all_done = all(finished(ctx) for ctx in ctx_list)
+                if all_done and not in_flight:
+                    break
+                if not in_flight and rounds > 0 and self.quiesce_ok:
+                    break
+                if not in_flight and rounds > 0:
+                    silent_rounds += 1
+                    if silent_rounds >= _STALL_LIMIT:
+                        raise ProtocolError(
+                            "protocol %r stalled: no messages in flight, nodes "
+                            "not finished, after %d silent rounds"
+                            % (protocol.name, silent_rounds)
+                        )
+                else:
+                    silent_rounds = 0
+                if max_rounds is not None and rounds >= max_rounds:
+                    raise RoundLimitExceeded(max_rounds)
+
+                rounds += 1
+                round_metrics = RoundMetrics(round_index=rounds)
+                if rounds == 1:
+                    round_metrics.messages_sent = startup_metrics.messages_sent
+                    round_metrics.bits_sent = startup_metrics.bits_sent
+                    round_metrics.max_message_bits = (
+                        startup_metrics.max_message_bits
+                    )
+                current_round = rounds
+                if self.fast_finished:
+                    to_invoke = sum(
+                        len(shard.frontier) for shard in self.shards
+                    )
+                else:
+                    to_invoke = len(ctx_list)
+                in_flight = self._barrier(
+                    self._run_shards(
+                        lambda shard: self._step_shard(shard, current_round),
+                        work_hint=in_flight + to_invoke,
+                    ),
+                    round_metrics,
+                )
+                metrics.absorb_round(round_metrics, config.record_round_metrics)
+        finally:
+            if self.pool is not None:
+                self.pool.shutdown(wait=True)
+
+        # Halted nodes were skipped by the frontier; align their round
+        # counters with the reference before harvesting.
+        for ctx in ctx_list:
+            ctx._round = rounds
+        outputs = {
+            node_id: protocol.collect_output(ctx)
+            for node_id, ctx in self.contexts.items()
+        }
+        return RunResult(outputs=outputs, metrics=metrics, contexts=self.contexts)
+
+
+class ShardedEngine(Engine):
+    """Partition-parallel round loop; see the module docstring for details.
+
+    Selectable as ``engine="sharded"``.  The registry instance reads every
+    knob from the configuration (``CongestConfig.shards``,
+    ``CongestConfig.shard_workers``, ``CongestConfig.shard_strategy``);
+    constructor arguments override the configuration for callers that build
+    their own instance (the E14 benchmark, tests).
+
+    Parameters
+    ----------
+    shards / workers / strategy:
+        Shard count, thread-pool width (``<= 1`` means the serial
+        deterministic mode) and partitioner strategy.  ``None`` defers to
+        the configuration.
+    partition_seed:
+        Seed of the partitioner's RNG (plans are deterministic for a fixed
+        seed).
+    collect_stats:
+        When True, accumulate cross-shard traffic statistics into
+        :attr:`stats` across executions.  Off for the registry instance —
+        engines are stateless by convention — and not thread-safe across
+        concurrent ``execute`` calls.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        strategy: Optional[str] = None,
+        partition_seed: int = 0,
+        collect_stats: bool = False,
+    ) -> None:
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be at least 1 when given")
+        self.shards = shards
+        self.workers = workers
+        self.strategy = strategy
+        self.partition_seed = partition_seed
+        self.stats: Optional[ShardingStats] = (
+            ShardingStats() if collect_stats else None
+        )
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        network: Network,
+        protocol: Protocol,
+        config: Optional[CongestConfig] = None,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        reuse_contexts: bool = False,
+    ) -> RunResult:
+        config = config or CongestConfig()
+        shards = self.shards if self.shards is not None else config.shards
+        workers = self.workers if self.workers is not None else config.shard_workers
+        strategy = (
+            self.strategy if self.strategy is not None else config.shard_strategy
+        )
+        plan = cached_partition(
+            network, shards, strategy=strategy, seed=self.partition_seed
+        )
+        contexts = network.build_contexts(
+            global_inputs=global_inputs,
+            per_node_inputs=per_node_inputs,
+            fresh=not reuse_contexts,
+        )
+        run = _ShardedRun(
+            network=network,
+            protocol=protocol,
+            config=config,
+            contexts=contexts,
+            plan=plan,
+            workers=workers,
+        )
+        result = run.run()
+        if self.stats is not None:
+            self.stats.runs += 1
+            self.stats.plans.append(plan)
+            for shard in run.shards:
+                self.stats.protocol_messages += (
+                    shard.local_messages + shard.remote_messages
+                )
+                self.stats.cross_shard_messages += shard.remote_messages
+        return result
+
+
+register_engine(ShardedEngine())

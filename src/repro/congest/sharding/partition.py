@@ -1,0 +1,279 @@
+"""Graph partitioning for sharded CONGEST execution.
+
+A :class:`ShardPlan` splits a :class:`repro.congest.network.Network` into
+``k`` shards over the network's dense CSR index (see
+:meth:`repro.congest.network.Network.csr`): every node is *owned* by exactly
+one shard, an edge whose endpoints live in different shards is a *boundary*
+(cut) edge, and the plan records the cut statistics that determine how much
+cross-shard traffic a sharded execution will pay per round.
+
+The paper's algorithm is local by design — each node's work depends only on
+its neighbourhood — so any partition is *correct*; the strategy only moves
+the cut fraction, never the outputs.  Two deterministic seeded strategies
+ship today:
+
+``"contiguous"``
+    Split the dense index ``0..n-1`` into ``k`` near-equal contiguous
+    blocks.  Oblivious to the topology (the seed is unused), but free to
+    compute and a good match for workloads whose node ids already carry
+    locality (generated planted families, relabelled edge lists).
+
+``"bfs"``
+    Grow ``k`` regions by balanced round-robin breadth-first search from
+    ``k`` seed nodes drawn with a seeded RNG.  Each region claims one node
+    per turn up to a capacity of ``ceil(n / k)``, so the shards stay
+    balanced while following the topology; nodes no region can reach
+    (disconnected components, capacity-locked pockets) are assigned to the
+    smallest shard in ascending index order.  Deterministic for a fixed
+    ``(network, k, seed)``.
+
+Both strategies are deterministic functions of the network's CSR arrays, so
+a plan built twice for the same inputs is equal (``ShardPlan`` is a frozen
+dataclass) — the property the differential harness relies on when it replays
+a sharded run.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import weakref
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.congest.network import Network
+
+#: Registry of partitioning strategies accepted by :func:`partition_network`.
+PARTITION_STRATEGIES: Tuple[str, ...] = ("contiguous", "bfs")
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An assignment of a network's nodes to ``k`` shards, plus cut stats.
+
+    All node references are *dense CSR indices* (``0..n-1``), not node ids;
+    the sharded engine works on the same dense index as the batched engine,
+    and ids map to indices via
+    :attr:`repro.congest.network.Network.node_index_of`.
+
+    Attributes
+    ----------
+    strategy / seed:
+        The inputs that produced this plan (the seed is recorded even for
+        strategies that ignore it, so plans are self-describing).
+    n_shards:
+        The requested shard count ``k``.  Shards may be empty when ``k``
+        exceeds the node count.
+    owner:
+        ``owner[i]`` is the shard that owns dense index ``i``.
+    shards:
+        ``shards[s]`` is the tuple of dense indices owned by shard ``s``,
+        ascending.
+    boundary_edges:
+        The cut: undirected edges ``(u, v)`` with ``u < v`` (dense indices)
+        whose endpoints live in different shards, ascending.
+    internal_edges:
+        Number of undirected edges with both endpoints in one shard.
+    """
+
+    strategy: str
+    seed: int
+    n_shards: int
+    owner: Tuple[int, ...]
+    shards: Tuple[Tuple[int, ...], ...]
+    boundary_edges: Tuple[Tuple[int, int], ...] = field(repr=False)
+    internal_edges: int = 0
+
+    @property
+    def n(self) -> int:
+        """Number of nodes covered by the plan."""
+        return len(self.owner)
+
+    @property
+    def cut_edges(self) -> int:
+        """Number of undirected edges crossing a shard boundary."""
+        return len(self.boundary_edges)
+
+    @property
+    def total_edges(self) -> int:
+        return self.internal_edges + self.cut_edges
+
+    @property
+    def cut_fraction(self) -> float:
+        """Fraction of edges in the cut (0.0 for an edgeless network)."""
+        total = self.total_edges
+        return (self.cut_edges / total) if total else 0.0
+
+    @property
+    def shard_sizes(self) -> Tuple[int, ...]:
+        return tuple(len(owned) for owned in self.shards)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the E14 benchmark)."""
+        return (
+            "%s(k=%d, seed=%d): sizes=%s, cut %d/%d edges (%.1f%%)"
+            % (
+                self.strategy,
+                self.n_shards,
+                self.seed,
+                list(self.shard_sizes),
+                self.cut_edges,
+                self.total_edges,
+                100.0 * self.cut_fraction,
+            )
+        )
+
+
+def _contiguous_owners(n: int, k: int) -> List[int]:
+    """Near-equal contiguous blocks: the first ``n % k`` shards get one extra."""
+    owner = [0] * n
+    base, extra = divmod(n, k)
+    index = 0
+    for shard in range(k):
+        size = base + (1 if shard < extra else 0)
+        for _ in range(size):
+            owner[index] = shard
+            index += 1
+    return owner
+
+
+def _bfs_owners(network: Network, n: int, k: int, seed: int) -> List[int]:
+    """Balanced round-robin multi-source BFS growth (see module docstring)."""
+    owner = [-1] * n
+    if n == 0:
+        return owner
+    _ids, indptr, indices = network.csr()
+    rng = random.Random(seed)
+    num_seeds = min(k, n)
+    seed_nodes = sorted(rng.sample(range(n), num_seeds))
+    capacity = int(math.ceil(n / float(num_seeds)))
+
+    sizes = [0] * k
+    queues: List[deque] = [deque((s,)) for s in seed_nodes]
+    pending = True
+    while pending:
+        pending = False
+        for shard in range(num_seeds):
+            queue = queues[shard]
+            if sizes[shard] >= capacity:
+                queue.clear()
+                continue
+            # Claim (at most) one node this turn so regions grow in lockstep.
+            while queue:
+                candidate = queue.popleft()
+                if owner[candidate] != -1:
+                    continue
+                owner[candidate] = shard
+                sizes[shard] += 1
+                for neighbor in indices[indptr[candidate]:indptr[candidate + 1]]:
+                    if owner[neighbor] == -1:
+                        queue.append(neighbor)
+                break
+            if queue:
+                pending = True
+
+    # Unreached nodes (components without a seed, capacity-locked pockets):
+    # smallest shard first, ties to the lowest shard id — deterministic.
+    for index in range(n):
+        if owner[index] == -1:
+            shard = min(range(k), key=lambda s: (sizes[s], s))
+            owner[index] = shard
+            sizes[shard] += 1
+    return owner
+
+
+def partition_network(
+    network: Network,
+    shards: int,
+    strategy: str = "contiguous",
+    seed: int = 0,
+) -> ShardPlan:
+    """Split *network* into *shards* shards and return the :class:`ShardPlan`.
+
+    Parameters
+    ----------
+    network:
+        The network to partition; only its CSR arrays are read.
+    shards:
+        The shard count ``k`` (at least 1).  ``k`` may exceed the node
+        count, in which case the surplus shards are empty.
+    strategy:
+        One of :data:`PARTITION_STRATEGIES`.
+    seed:
+        Seed of the partitioner's private RNG (``"bfs"`` seed placement).
+        Plans are deterministic for a fixed ``(network, shards, strategy,
+        seed)``.
+    """
+    if shards < 1:
+        raise ValueError("shard count must be at least 1, got %r" % (shards,))
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(
+            "unknown partition strategy %r; available strategies: %s"
+            % (strategy, ", ".join(PARTITION_STRATEGIES))
+        )
+
+    _ids, indptr, indices = network.csr()
+    n = len(_ids)
+    if strategy == "contiguous":
+        owner = _contiguous_owners(n, shards)
+    else:
+        owner = _bfs_owners(network, n, shards, seed)
+
+    owned: Dict[int, List[int]] = {shard: [] for shard in range(shards)}
+    for index in range(n):
+        owned[owner[index]].append(index)
+
+    boundary: List[Tuple[int, int]] = []
+    internal = 0
+    for u in range(n):
+        owner_u = owner[u]
+        for v in indices[indptr[u]:indptr[u + 1]]:
+            if v <= u:
+                continue
+            if owner_u == owner[v]:
+                internal += 1
+            else:
+                boundary.append((u, v))
+
+    return ShardPlan(
+        strategy=strategy,
+        seed=seed,
+        n_shards=shards,
+        owner=tuple(owner),
+        shards=tuple(tuple(owned[shard]) for shard in range(shards)),
+        boundary_edges=tuple(boundary),
+        internal_edges=internal,
+    )
+
+
+#: Per-network memo of computed plans.  A network's topology (hence its
+#: CSR arrays) is immutable after construction, and plans are frozen, so
+#: memoisation is safe; keying weakly keeps retired networks collectable.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[Network, Dict[Tuple[int, str, int], ShardPlan]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def cached_partition(
+    network: Network,
+    shards: int,
+    strategy: str = "contiguous",
+    seed: int = 0,
+) -> ShardPlan:
+    """Memoised :func:`partition_network`.
+
+    The sharded engine partitions once per protocol execution; a composite
+    pipeline (the 14-phase ``DistNearClique`` runner) executes many
+    protocols on one network, so the plan is computed once and reused.
+    """
+    per_network = _PLAN_CACHE.get(network)
+    if per_network is None:
+        per_network = _PLAN_CACHE[network] = {}
+    key = (shards, strategy, seed)
+    plan = per_network.get(key)
+    if plan is None:
+        plan = per_network[key] = partition_network(
+            network, shards, strategy=strategy, seed=seed
+        )
+    return plan

@@ -36,6 +36,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
+from repro.congest.config import CongestConfig
 from repro.congest.metrics import RunMetrics
 from repro.core import near_clique
 from repro.core.dist_near_clique import DistNearCliqueRunner
@@ -83,6 +84,7 @@ class BoostedNearCliqueRunner:
         single_run_success: float = 0.5,
         engine: str = "centralized",
         congest_engine: Optional[str] = None,
+        congest_config: Optional[CongestConfig] = None,
         rng: Optional[random.Random] = None,
     ) -> None:
         if parameters is None:
@@ -112,11 +114,17 @@ class BoostedNearCliqueRunner:
         self.repetitions = repetitions
         self.engine = engine
         #: CONGEST execution engine for the "distributed" variant —
-        #: ``"reference"``, ``"batched"`` or ``"async"`` (see
-        #: :mod:`repro.congest.engine`); ``None`` keeps the simulator
+        #: ``"reference"``, ``"batched"``, ``"async"`` or ``"sharded"``
+        #: (see :mod:`repro.congest.engine`); ``None`` keeps the simulator
         #: default.  Bit-identical by the engine contract, so the boosted
         #: statistics are engine-independent.
         self.congest_engine = congest_engine
+        #: Optional :class:`repro.congest.config.CongestConfig` for the
+        #: "distributed" variant's simulations — the way to reach
+        #: engine-specific knobs such as ``shards`` / ``shard_workers``.
+        #: ``congest_engine`` (when given) still overrides the
+        #: configuration's engine field.
+        self.congest_config = congest_config
         self.rng = rng or random.Random()
 
     # ------------------------------------------------------------------
@@ -186,6 +194,7 @@ class BoostedNearCliqueRunner:
             runner = DistNearCliqueRunner(
                 parameters=params,
                 rng=random.Random(self.rng.getrandbits(48)),
+                config=self.congest_config,
                 engine=self.congest_engine,
             )
             result = runner.run(graph)

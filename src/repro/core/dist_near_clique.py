@@ -67,13 +67,16 @@ class DistNearCliqueRunner:
         one-message-per-edge rule and a ``12·log₂ n``-bit message budget
         (checked, not just measured).
     engine:
-        Execution-engine selector (``"reference"``, ``"batched"`` or
-        ``"async"``, see :mod:`repro.congest.engine`) applied on top of
-        *config*.  ``None`` keeps the configuration's engine.  All engines
-        produce bit-identical outputs and protocol metrics, so this is an
+        Execution-engine selector (``"reference"``, ``"batched"``,
+        ``"async"`` or ``"sharded"``, see :mod:`repro.congest.engine`)
+        applied on top of *config*.  ``None`` keeps the configuration's
+        engine (``"batched"`` by default).  All engines produce
+        bit-identical outputs and protocol metrics, so this is an
         execution-model / throughput knob; under ``"async"`` every phase
         runs over asynchronous links behind an alpha synchronizer and the
-        merged metrics additionally report the control-message overhead.
+        merged metrics additionally report the control-message overhead,
+        and under ``"sharded"`` every phase steps ``config.shards`` graph
+        partitions in parallel.
     """
 
     def __init__(

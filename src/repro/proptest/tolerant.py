@@ -25,6 +25,7 @@ from typing import FrozenSet, Optional, Tuple
 
 import networkx as nx
 
+from repro.congest.config import CongestConfig
 from repro.core import near_clique
 from repro.proptest.ggr_tester import GGRCliqueTester
 from repro.proptest.sampling import AdjacencyOracle
@@ -58,9 +59,14 @@ class TolerantNearCliqueTester:
     congest_engine:
         Execution engine used by :meth:`find_distributed` when the sampled
         decision is re-run as the paper's actual CONGEST algorithm
-        (``"reference"``, ``"batched"`` or ``"async"``; see
+        (``"reference"``, ``"batched"``, ``"async"`` or ``"sharded"``; see
         :mod:`repro.congest.engine`).  ``None`` keeps the simulator
         default.
+    congest_config:
+        Optional :class:`repro.congest.config.CongestConfig` for
+        :meth:`find_distributed` — the way to reach engine-specific knobs
+        such as ``shards`` / ``shard_workers``.  ``congest_engine`` (when
+        given) still overrides the configuration's engine field.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class TolerantNearCliqueTester:
         rng: Optional[random.Random] = None,
         primary_sample_cap: int = 14,
         congest_engine: Optional[str] = None,
+        congest_config: Optional[CongestConfig] = None,
     ) -> None:
         if not 0 < rho <= 1:
             raise ValueError("rho must lie in (0, 1]")
@@ -82,6 +89,7 @@ class TolerantNearCliqueTester:
         self.rng = rng or random.Random()
         self.primary_sample_cap = primary_sample_cap
         self.congest_engine = congest_engine
+        self.congest_config = congest_config
 
     @property
     def working_epsilon(self) -> float:
@@ -187,6 +195,7 @@ class TolerantNearCliqueTester:
             sample_probability=sample_probability,
             max_sample_size=max_sample_size,
             rng=random.Random(self.rng.getrandbits(48)),
+            config=self.congest_config,
             engine=self.congest_engine,
         )
         return runner.run(graph)

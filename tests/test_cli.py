@@ -55,7 +55,9 @@ class TestFindCommand:
         assert exit_code == 0
         assert "recall of planted set" in captured.out
 
-    @pytest.mark.parametrize("congest_engine", ["reference", "batched", "async"])
+    @pytest.mark.parametrize(
+        "congest_engine", ["reference", "batched", "async", "sharded"]
+    )
     def test_congest_engine_selection(self, capsys, congest_engine):
         exit_code = cli.main(
             [
@@ -80,7 +82,7 @@ class TestFindCommand:
 
     def test_congest_engines_print_identical_reports(self, capsys):
         reports = {}
-        for congest_engine in ("reference", "batched", "async"):
+        for congest_engine in ("reference", "batched", "async", "sharded"):
             exit_code = cli.main(
                 [
                     "find",
@@ -97,6 +99,7 @@ class TestFindCommand:
             assert exit_code == 0
             reports[congest_engine] = capsys.readouterr().out
         assert reports["reference"] == reports["batched"]
+        assert reports["sharded"] == reports["batched"]
         # The async report additionally carries the synchronizer-overhead
         # row (which widens the table columns); every value above it —
         # clusters, sample, rounds, messages — is identical to the
@@ -111,6 +114,34 @@ class TestFindCommand:
             ]
 
         assert rows(reports["async"]) == rows(reports["reference"])
+
+    @pytest.mark.parametrize("shards,workers", [("1", "0"), ("3", "0"), ("4", "2")])
+    def test_sharded_engine_shard_flags(self, capsys, shards, workers):
+        # Shard count and worker mode are report-invariant: the sharded
+        # engine is bit-identical for every partition, so the CLI output
+        # must not change either.
+        reports = {}
+        for name, extra in (
+            ("batched", []),
+            ("sharded", ["--shards", shards, "--shard-workers", workers]),
+        ):
+            exit_code = cli.main(
+                [
+                    "find",
+                    "--n",
+                    "50",
+                    "--congest-engine",
+                    name,
+                    "--expected-sample",
+                    "5",
+                    "--seed",
+                    "9",
+                ]
+                + extra
+            )
+            assert exit_code == 0
+            reports[name] = capsys.readouterr().out
+        assert reports["sharded"] == reports["batched"]
 
     def test_boosted_engine(self, capsys):
         exit_code = cli.main(

@@ -2,7 +2,8 @@
 
 The contract (module docstring of :mod:`repro.congest.engine`) is that for
 every protocol, graph, seed and configuration every registered engine —
-``batched`` and ``async`` today — produces the same per-node outputs, the
+``batched``, ``async`` and ``sharded`` today — produces the same per-node
+outputs, the
 same round/pulse count, and the same protocol message/bit metrics including
 the per-round trace.  Engine-specific control overhead (the async engine's
 acks and safety notifications) is excluded from the fingerprint and checked
@@ -116,10 +117,12 @@ def _participants(graph):
     return {v: {KEY_PARTICIPANT: True} for v in graph.nodes()}
 
 
-def _run_primitive_suite(graph, engine):
+def _run_primitive_suite(graph, engine, **config_fields):
     """The full primitive pipeline on one network, as the runner chains it."""
     network = Network(graph, seed=1234)
-    config = CongestConfig(engine=engine).with_log_budget(max(2, network.n))
+    config = CongestConfig(engine=engine, **config_fields).with_log_budget(
+        max(2, network.n)
+    )
     per_node = _participants(graph)
     fingerprints = []
 
@@ -306,6 +309,80 @@ class TestWrapperEquivalence:
         assert results[engine] == results["reference"]
 
 
+class TestShardedConfigurations:
+    """The sharded engine across shard counts, strategies, and modes.
+
+    The engine-parametrized classes above already run ``"sharded"`` at its
+    default configuration (4 contiguous shards, serial); these tests pin
+    the contract for every shard count in {1, 2, 4} — including the
+    single-shard case, which must degenerate to the batched semantics —
+    both partitioner strategies, and the thread-pool execution mode.
+    """
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("strategy", ["contiguous", "bfs"])
+    def test_shard_counts_identical_to_reference(self, shards, strategy):
+        graph, _ = generators.planted_near_clique(
+            n=40, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=7
+        )
+        reference = _run_primitive_suite(graph, "reference")
+        candidate = _run_primitive_suite(
+            graph, "sharded", shards=shards, shard_strategy=strategy
+        )
+        assert candidate == reference, (
+            "sharded engine diverged with %d %s shards" % (shards, strategy)
+        )
+
+    @pytest.mark.parametrize("graph", [g for _, g in GRAPHS], ids=GRAPH_IDS)
+    def test_two_shards_identical_on_graph_pool(self, graph):
+        reference = _run_primitive_suite(graph, "reference")
+        candidate = _run_primitive_suite(graph, "sharded", shards=2)
+        assert candidate == reference
+
+    def test_thread_mode_identical_to_serial(self, monkeypatch):
+        # Unit-sized rounds fall below the pool's work threshold, which
+        # would silently test the serial path twice; pin it to zero so the
+        # chunked pool dispatch really runs.
+        from repro.congest.sharding.engine import _ShardedRun
+
+        monkeypatch.setattr(_ShardedRun, "POOL_MIN_WORK", 0)
+        graph, _ = generators.planted_near_clique(
+            n=40, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=9
+        )
+        serial = _run_primitive_suite(graph, "sharded", shards=4)
+        threaded = _run_primitive_suite(
+            graph, "sharded", shards=4, shard_workers=4
+        )
+        assert threaded == serial
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_full_runner_identical_across_shard_counts(self, shards):
+        graph, _ = generators.planted_near_clique(
+            n=60, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=3
+        )
+        results = {}
+        for name, config in (
+            ("reference", CongestConfig(engine="reference")),
+            ("sharded", CongestConfig().with_sharding(shards=shards)),
+        ):
+            runner = DistNearCliqueRunner(
+                epsilon=0.25,
+                sample_probability=0.1,
+                rng=random.Random(1003),
+                config=config.with_log_budget(graph.number_of_nodes()),
+            )
+            result = runner.run(graph)
+            results[name] = (
+                result.labels,
+                result.sample,
+                result.metrics.rounds,
+                result.metrics.total_messages,
+                result.metrics.total_bits,
+                _trace(result.metrics),
+            )
+        assert results["sharded"] == results["reference"]
+
+
 class TestAsyncControlOverhead:
     """The async engine's overhead accounting (engine-specific by design)."""
 
@@ -335,24 +412,42 @@ class TestAsyncControlOverhead:
 
 
 class TestEngineRegistry:
-    def test_available_engines(self):
-        assert available_engines() == ("async", "batched", "reference")
+    def test_available_engines_sorted(self):
+        engines = available_engines()
+        assert engines == ("async", "batched", "reference", "sharded")
+        assert engines == tuple(sorted(engines))
 
     def test_get_engine_by_name(self):
-        assert get_engine("reference").name == "reference"
-        assert get_engine("batched").name == "batched"
-        assert get_engine("async").name == "async"
+        for name in available_engines():
+            assert get_engine(name).name == name
 
     def test_get_engine_passthrough(self):
         engine = get_engine("batched")
         assert get_engine(engine) is engine
 
-    def test_get_engine_unknown_name(self):
+    def test_get_engine_unknown_name_lists_available(self):
         with pytest.raises(ValueError, match="unknown engine"):
             get_engine("warp-drive")
+        with pytest.raises(ValueError) as excinfo:
+            get_engine("warp-drive")
+        for name in available_engines():
+            assert name in str(excinfo.value)
+
+    def test_default_engine_is_batched(self):
+        # ROADMAP item: the fast path becomes the default once it has
+        # survived differential CI; the reference stays the oracle above.
+        assert CongestConfig().engine == "batched"
+        assert get_engine(None).name == "batched"
 
     def test_config_carries_engine(self):
         config = CongestConfig().with_engine("async")
         assert config.engine == "async"
         assert config.with_log_budget(64).engine == "async"
         assert config.with_max_rounds(5).engine == "async"
+
+    def test_config_with_sharding(self):
+        config = CongestConfig().with_sharding(shards=2, workers=3, strategy="bfs")
+        assert config.engine == "sharded"
+        assert (config.shards, config.shard_workers) == (2, 3)
+        assert config.shard_strategy == "bfs"
+        assert config.with_log_budget(64).shards == 2
