@@ -17,6 +17,13 @@ asserts the outputs and protocol metrics are bit-identical to the
 "win"), checks the measured overhead against the closed form above, and
 prints overhead-per-pulse and overhead-per-payload-message ratios.
 
+The benchmark also times the engine's *pre-run snapshot*: deriving the
+pulse budget used to require two ``copy.deepcopy`` calls (contexts, then
+protocol); it now takes one ``pickle`` round trip of both together, and
+the snapshot table below shows the setup-cost drop on a contexts dict with
+realistic pipeline residue (the differential suite guards that the
+semantics did not move).
+
 Quick mode (``REPRO_BENCH_QUICK=1`` or ``--quick``) shrinks the workloads
 so the benchmark doubles as a CI regression gate for the async engine's
 accounting invariants.
@@ -27,9 +34,12 @@ pytest-benchmark harness like the other experiments.
 
 from __future__ import annotations
 
+import copy
 import os
+import pickle
 import random
 import sys
+import time
 
 import networkx as nx
 
@@ -134,6 +144,67 @@ def _pipeline_row(name, graph, sample_size=6):
     }
 
 
+def _snapshot_cost_table(quick: bool):
+    """Pre-run snapshot: one pickle round trip vs the two-deepcopy baseline.
+
+    The contexts carry the residue of a real protocol run (BFS trees,
+    outboxes, per-node RNGs), which is exactly what the pulse-budget
+    derivation must preserve for a reused composite pipeline.
+    """
+    n = 400 if quick else 1200
+    graph, _ = generators.planted_near_clique(
+        n=n, clique_fraction=0.4, epsilon=0.008, background_p=0.02, seed=13
+    )
+    network = Network(graph, seed=31)
+    per_node = {v: {KEY_PARTICIPANT: True} for v in graph.nodes()}
+    protocol = MinIdBFSTreeProtocol()
+    run_protocol(
+        network,
+        protocol,
+        config=CongestConfig().with_log_budget(n),
+        per_node_inputs=per_node,
+    )
+
+    def deepcopy_snapshot():
+        copy.deepcopy(network._contexts)
+        copy.deepcopy(protocol)
+
+    def pickle_snapshot():
+        pickle.loads(
+            pickle.dumps(
+                (network._contexts, protocol), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        )
+
+    timings = {}
+    for label, snapshot in (
+        ("2x deepcopy (old)", deepcopy_snapshot),
+        ("1x pickle (new)", pickle_snapshot),
+    ):
+        best = float("inf")
+        for _ in range(3 if quick else 5):
+            start = time.perf_counter()
+            snapshot()
+            best = min(best, time.perf_counter() - start)
+        timings[label] = best
+    speedup = timings["2x deepcopy (old)"] / max(timings["1x pickle (new)"], 1e-9)
+    tables.print_table(
+        ["snapshot", "best s", "speedup"],
+        [
+            [label, round(elapsed, 4), round(timings["2x deepcopy (old)"] / elapsed, 2)]
+            for label, elapsed in timings.items()
+        ],
+        title="E13  pre-run snapshot cost, n=%d contexts with pipeline state" % n,
+    )
+    # The pickle path must never cost more than the deepcopies it replaced
+    # (small slack for shared-runner noise).
+    assert timings["1x pickle (new)"] <= timings["2x deepcopy (old)"] * 1.2, (
+        "pickle snapshot is slower than the deepcopy baseline (%.4fs vs %.4fs)"
+        % (timings["1x pickle (new)"], timings["2x deepcopy (old)"])
+    )
+    return speedup
+
+
 def _run_suite(quick: bool):
     rows = []
     workloads = list(_workloads(quick))
@@ -141,6 +212,7 @@ def _run_suite(quick: bool):
         rows.append(_bfs_row(name, graph))
     # The pipeline is heavier; run it on the smallest workload only.
     rows.append(_pipeline_row(*workloads[0]))
+    _snapshot_cost_table(quick)
 
     tables.print_table(
         [

@@ -29,6 +29,7 @@ from typing import List, Optional, Sequence
 from repro.analysis import tables
 from repro.congest.config import CongestConfig
 from repro.congest.engine import available_engines
+from repro.congest.sharding import SHARD_BACKENDS
 from repro.core import near_clique
 from repro.core.boosting import BoostedNearCliqueRunner
 from repro.core.dist_near_clique import DistNearCliqueRunner
@@ -90,8 +91,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--shard-workers",
         type=_nonnegative_int,
         default=CongestConfig().shard_workers,
-        help="thread-pool width for the sharded engine "
+        help="thread-pool width for the sharded engine's thread backend "
         "(0 or 1 = serial deterministic mode)",
+    )
+    find.add_argument(
+        "--shard-backend",
+        choices=SHARD_BACKENDS,
+        default=CongestConfig().shard_backend,
+        help="execution backend for --congest-engine sharded: 'thread' "
+        "(in-process; serial when --shard-workers <= 1), 'serial' (force "
+        "the deterministic mode), or 'process' (one worker process per "
+        "shard — true multi-core, boundary traffic in a packed wire "
+        "format)",
     )
     find.add_argument("--expected-sample", type=float, default=8.0, help="target E[|S|] = p*n")
     find.add_argument("--max-sample", type=int, default=13, help="Section 4.1 abort threshold on |S|")
@@ -151,6 +162,7 @@ def _cmd_find(args) -> int:
         engine=args.congest_engine,
         shards=args.shards,
         shard_workers=args.shard_workers,
+        shard_backend=args.shard_backend,
     ).with_log_budget(max(2, n))
     if args.engine == "distributed":
         result = DistNearCliqueRunner(

@@ -51,9 +51,12 @@ This package simulates that model in-process.  The pieces are:
                                          metrics' control fields
     ``sharded``     ``ShardedEngine``    partition-parallel execution:
                                          ``shards`` regions step their own
-                                         frontier (serially or on a thread
-                                         pool, ``shard_workers``) and trade
+                                         frontier (serially, on a thread
+                                         pool, or in worker processes —
+                                         ``shard_backend``) and trade
                                          boundary messages at round barriers
+                                         (packed wire format across the
+                                         process boundary)
     ==============  ===================  =====================================
 
 ``metrics``
@@ -83,6 +86,7 @@ from repro.congest.errors import (
     MessageSizeViolation,
     ProtocolError,
     RoundLimitExceeded,
+    ShardWorkerError,
 )
 from repro.congest.message import Inbound, Message, estimate_payload_bits, id_bits_for
 from repro.congest.metrics import RoundMetrics, RunMetrics
@@ -91,6 +95,7 @@ from repro.congest.node import NodeContext, Protocol
 from repro.congest.scheduler import RunResult, SynchronousScheduler, run_protocol
 from repro.congest.sharding import (
     PARTITION_STRATEGIES,
+    SHARD_BACKENDS,
     ShardPlan,
     ShardedEngine,
     ShardingStats,
@@ -122,7 +127,9 @@ __all__ = [
     "ShardedEngine",
     "ShardPlan",
     "ShardingStats",
+    "ShardWorkerError",
     "PARTITION_STRATEGIES",
+    "SHARD_BACKENDS",
     "partition_network",
     "available_engines",
     "get_engine",

@@ -59,14 +59,34 @@ class CongestConfig:
         Shard count for ``engine="sharded"`` (ignored by the other
         engines).  May exceed the node count; surplus shards are empty.
     shard_workers:
-        Thread-pool width for the sharded engine.  ``0`` or ``1`` selects
-        the serial deterministic mode (the default, and what the
-        differential harness runs); ``>= 2`` steps shards on a thread pool.
-        Outputs and metrics are bit-identical either way.
+        Pool width for the sharded engine's ``"thread"`` backend.  ``0`` or
+        ``1`` selects the serial deterministic mode (the default, and what
+        the differential harness runs); ``>= 2`` steps shards on a thread
+        pool.  The ``"process"`` backend ignores this knob — it always runs
+        one worker process per non-empty shard.  Outputs and metrics are
+        bit-identical for every setting.
     shard_strategy:
         Partitioner strategy for the sharded engine — one of
         :data:`repro.congest.sharding.PARTITION_STRATEGIES`
-        (``"contiguous"``, ``"bfs"``).
+        (``"contiguous"``, ``"bfs"``, ``"bfs+refine"``).
+    shard_backend:
+        Execution backend of the sharded engine:
+
+        ``"thread"`` (the default)
+            Shards step in-process — serially when ``shard_workers <= 1``
+            (fully deterministic), on a thread pool otherwise.  Thread mode
+            is GIL-bound: its winnings are cache locality, not parallelism.
+        ``"serial"``
+            Force the serial deterministic mode regardless of
+            ``shard_workers``.
+        ``"process"``
+            One long-lived worker process per non-empty shard, each owning
+            its shard's contexts and inbox buffers for the whole run;
+            boundary traffic crosses the round barrier in the packed wire
+            format of :mod:`repro.congest.sharding.wire`.  True multi-core
+            parallelism; requires the protocol object and all per-node
+            state to be picklable.  Outputs, round counts and protocol
+            metrics remain bit-identical by the engine contract.
     """
 
     max_rounds: Optional[int] = None
@@ -78,6 +98,7 @@ class CongestConfig:
     shards: int = 4
     shard_workers: int = 0
     shard_strategy: str = "contiguous"
+    shard_backend: str = "thread"
 
     def with_log_budget(self, n: int) -> "CongestConfig":
         """Return a copy whose message budget is ``budget_multiplier * log2 n``.
@@ -101,6 +122,7 @@ class CongestConfig:
         shards: Optional[int] = None,
         workers: Optional[int] = None,
         strategy: Optional[str] = None,
+        backend: Optional[str] = None,
     ) -> "CongestConfig":
         """Return a copy selecting the sharded engine with the given knobs.
 
@@ -113,6 +135,7 @@ class CongestConfig:
             shards=self.shards if shards is None else shards,
             shard_workers=self.shard_workers if workers is None else workers,
             shard_strategy=self.shard_strategy if strategy is None else strategy,
+            shard_backend=self.shard_backend if backend is None else backend,
         )
 
     @staticmethod

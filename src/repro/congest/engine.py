@@ -43,9 +43,11 @@ ship today:
     Partition-parallel execution: the network is split into ``k`` shards
     (:func:`repro.congest.sharding.partition_network`) and each shard steps
     its own frontier with the batched machinery, exchanging boundary-edge
-    messages at the round barrier — serially by default (the deterministic
-    mode the differential harness runs) or on a thread pool
-    (``CongestConfig.shard_workers``).
+    messages at the round barrier.  ``CongestConfig.shard_backend`` selects
+    serial execution (the deterministic mode the differential harness
+    runs), a thread pool (``CongestConfig.shard_workers``), or one worker
+    process per shard — true multi-core execution with boundary traffic in
+    the packed wire format of :mod:`repro.congest.sharding.wire`.
 
 **The reference-vs-fast-path contract.**  For every protocol, graph, seed
 and configuration, every non-reference engine must produce bit-identical

@@ -38,6 +38,13 @@ class CongestionViolation(CongestError):
         self.receiver = receiver
         self.round_index = round_index
 
+    def __reduce__(self):
+        # The default exception reduction replays ``args`` (the formatted
+        # message) into ``__init__``, which takes the structured fields —
+        # rebuild from those instead so the error crosses the process
+        # boundary of the sharded engine's worker pool intact.
+        return (type(self), (self.sender, self.receiver, self.round_index))
+
 
 class MessageSizeViolation(CongestError):
     """A message exceeded the configured O(log n)-bit budget."""
@@ -53,6 +60,12 @@ class MessageSizeViolation(CongestError):
         self.budget = budget
         self.round_index = round_index
 
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.sender, self.receiver, self.bits, self.budget, self.round_index),
+        )
+
 
 class RoundLimitExceeded(CongestError):
     """The scheduler hit its deterministic round cap before quiescence.
@@ -67,3 +80,24 @@ class RoundLimitExceeded(CongestError):
             "protocol did not terminate within %d rounds" % max_rounds
         )
         self.max_rounds = max_rounds
+
+    def __reduce__(self):
+        return (type(self), (self.max_rounds,))
+
+
+class ShardWorkerError(CongestError):
+    """A sharded-engine worker process failed outside the model's rules.
+
+    Raised by the process backend when a worker *dies* without reporting a
+    protocol-level error (segfault, ``os._exit``, unpicklable exception) —
+    death is detected as EOF on the worker's pipe, so the round barrier
+    errors out instead of waiting on a corpse.  A worker that is alive but
+    stuck in protocol code is indistinguishable from a slow round and is
+    not timed out (an infinite ``on_round`` hangs every backend alike; use
+    ``CongestConfig.max_rounds`` to bound runs).  Model-rule violations
+    inside a worker are *not* wrapped: they cross the process boundary as
+    their own types (:class:`CongestionViolation`,
+    :class:`MessageSizeViolation`, :class:`ProtocolError`...), exactly as
+    the in-process modes raise them.
+    """
+

@@ -15,28 +15,47 @@ boundary at the round barrier.  This package provides:
 :mod:`repro.congest.sharding.engine`
     :class:`ShardedEngine` (``engine="sharded"``) executes a protocol shard
     by shard — reusing the batched engine's CSR/inbox-buffer machinery per
-    shard — with a serial deterministic mode (the default, used by the
-    differential harness) and a thread-pool mode
-    (``CongestConfig.shard_workers``).  Bit-identical to
+    shard — under one of three backends (``CongestConfig.shard_backend``):
+    the serial deterministic mode (what the differential harness runs), a
+    GIL-bound thread pool (``CongestConfig.shard_workers``), or one worker
+    process per shard for true multi-core execution.  Bit-identical to
     :class:`repro.congest.engine.ReferenceEngine` by the engine contract,
-    for every shard count and strategy.
+    for every shard count, strategy and backend.
+
+:mod:`repro.congest.sharding.wire`
+    The packed wire format boundary traffic travels in between worker
+    processes: flat arrays plus one payload byte blob per bucket, message
+    kinds interned to small integers per channel.
+
+:mod:`repro.congest.sharding.workers`
+    The worker-process side of the ``"process"`` backend and its
+    coordinator.
 
 Importing this package registers the engine; the registry in
 :mod:`repro.congest.engine` imports it lazily so ``engine="sharded"`` works
 no matter which module a caller reaches first.
 """
 
-from repro.congest.sharding.engine import ShardedEngine, ShardingStats
+from repro.congest.sharding.engine import (
+    SHARD_BACKENDS,
+    ShardedEngine,
+    ShardingStats,
+)
 from repro.congest.sharding.partition import (
     PARTITION_STRATEGIES,
     ShardPlan,
     partition_network,
 )
+from repro.congest.sharding.wire import WireBatch, WireDecoder, WireEncoder
 
 __all__ = [
     "PARTITION_STRATEGIES",
+    "SHARD_BACKENDS",
     "ShardPlan",
     "ShardedEngine",
     "ShardingStats",
+    "WireBatch",
+    "WireDecoder",
+    "WireEncoder",
     "partition_network",
 ]

@@ -12,7 +12,7 @@ incremental active frontier — restricted to the shard's owned nodes.
 :mod:`repro.congest.engine`): outputs, round count and protocol
 message/bit metrics — including the per-round trace — are bit-identical to
 :class:`repro.congest.engine.ReferenceEngine` for every shard count,
-strategy and execution mode, and the model rules raise the same
+strategy and execution backend, and the model rules raise the same
 :class:`repro.congest.errors.MessageSizeViolation` /
 :class:`repro.congest.errors.CongestionViolation` types from the shard-local
 drain.  Two mechanisms make the partition invisible:
@@ -32,25 +32,49 @@ drain.  Two mechanisms make the partition invisible:
   are evaluated by the coordinator on the aggregated view, exactly like the
   single-shard engines.
 
-Execution modes
----------------
-``shard_workers <= 1`` (the default, and the registry instance's mode) steps
-the shards sequentially in ascending shard order — fully deterministic,
-which is what the differential harness runs.  ``shard_workers >= 2`` steps
-the shards on a thread pool; shard state is disjoint by construction (a
-shard only touches the contexts and inbox buffers of the nodes it owns, and
-writes cross-shard messages into its own per-destination buckets), so the
-pool only changes wall-clock interleaving, never the result.  Note that a
-*protocol* that mutates shared instrumentation state in its callbacks (for
-example a test harness appending to one global log) will observe a
-nondeterministic interleaving under thread mode; outputs and metrics remain
-bit-identical either way.
+Execution backends (``CongestConfig.shard_backend``)
+----------------------------------------------------
+``"thread"`` (the default)
+    In-process execution.  ``shard_workers <= 1`` steps the shards
+    sequentially in ascending shard order — fully deterministic, which is
+    what the differential harness runs.  ``shard_workers >= 2`` steps the
+    shards on a thread pool; shard state is disjoint by construction (a
+    shard only touches the contexts and inbox buffers of the nodes it owns,
+    and writes cross-shard messages into its own per-destination buckets),
+    so the pool only changes wall-clock interleaving, never the result.
+    Thread mode is GIL-bound: its wall-clock winnings are cache locality,
+    not parallelism.
+
+``"serial"``
+    Force the sequential mode regardless of ``shard_workers``.
+
+``"process"``
+    True multi-core execution (:mod:`repro.congest.sharding.workers`): one
+    long-lived worker process per non-empty shard owns that shard's
+    contexts, CSR slice and inbox buffers for the whole run; only boundary
+    traffic crosses the round barrier, packed by
+    :mod:`repro.congest.sharding.wire` into flat arrays instead of pickled
+    per-message objects.  Requires the protocol object and all per-node
+    state to be picklable.  Model-rule violations cross the process
+    boundary with their in-process exception types; a worker that dies
+    without reporting raises
+    :class:`repro.congest.errors.ShardWorkerError` instead of hanging the
+    barrier.
+
+Note that a *protocol* mutating shared instrumentation state in its
+callbacks (for example a test harness appending to one global log) will
+observe a nondeterministic interleaving under thread mode and fully
+isolated per-worker copies under process mode; per-node outputs and metrics
+remain bit-identical in every backend.  Pools of either kind are created
+per ``execute`` call and torn down before it returns — the registry's
+shared engine singleton never holds live workers.
 """
 
 from __future__ import annotations
 
 import operator
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.congest.config import CongestConfig
@@ -76,9 +100,65 @@ from repro.congest.sharding.partition import (
     cached_partition,
 )
 
+#: Execution backends accepted by ``CongestConfig.shard_backend`` and the
+#: engine's ``backend=`` constructor argument.
+SHARD_BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
+
 #: Stable-sort key restoring the contract's ascending-sender inbox order
 #: (C-implemented: this runs on every boundary inbox every round).
 _sender_key = operator.attrgetter("sender")
+
+
+def coordinator_should_stop(
+    all_done: bool,
+    in_flight: int,
+    rounds: int,
+    silent_rounds: int,
+    quiesce_ok: bool,
+    max_rounds: Optional[int],
+    protocol_name: str,
+) -> Tuple[bool, int]:
+    """The sharded coordinators' termination decision, in one place.
+
+    Evaluated at the top of every round on the barrier-aggregated view;
+    shared verbatim by the in-process coordinator (:class:`_ShardedRun`)
+    and the process-backend coordinator
+    (:class:`repro.congest.sharding.workers.ProcessShardedRun`) so the
+    engine contract's round counts cannot drift between them.  Returns
+    ``(stop, new_silent_rounds)``; raises
+    :class:`repro.congest.errors.ProtocolError` on a stall and
+    :class:`repro.congest.errors.RoundLimitExceeded` at the round cap —
+    mirroring the single-shard engines exactly.
+    """
+    if all_done and not in_flight:
+        return True, silent_rounds
+    if not in_flight and rounds > 0 and quiesce_ok:
+        return True, silent_rounds
+    if not in_flight and rounds > 0:
+        silent_rounds += 1
+        if silent_rounds >= _STALL_LIMIT:
+            raise ProtocolError(
+                "protocol %r stalled: no messages in flight, nodes "
+                "not finished, after %d silent rounds"
+                % (protocol_name, silent_rounds)
+            )
+    else:
+        silent_rounds = 0
+    if max_rounds is not None and rounds >= max_rounds:
+        raise RoundLimitExceeded(max_rounds)
+    return False, silent_rounds
+
+
+def merge_startup_metrics(round_metrics: RoundMetrics, startup: RoundMetrics) -> None:
+    """Fold round-0 (``on_start``) traffic into the first round's metrics.
+
+    Messages queued during ``on_start`` are delivered in round 1 and
+    accounted to it, exactly as in the single-shard engines; shared by both
+    sharded coordinators.
+    """
+    round_metrics.messages_sent = startup.messages_sent
+    round_metrics.bits_sent = startup.bits_sent
+    round_metrics.max_message_bits = startup.max_message_bits
 
 
 class _ShardState:
@@ -87,7 +167,8 @@ class _ShardState:
     A shard owns a subset of the dense indices; during a round it reads and
     writes only the contexts and inbox buffers of its owned nodes plus its
     own outbound buckets, which is the disjointness that makes thread-mode
-    execution safe without locks.
+    execution safe without locks — and process-mode execution possible with
+    no shared memory at all.
     """
 
     __slots__ = (
@@ -114,7 +195,7 @@ class _ShardState:
         self.pending_inbound: List[Inbound] = []
         # Boundary deliveries routed *to* this shard at the last barrier,
         # kept grouped by source shard so delivery can walk the groups in
-        # ascending sender order (see ``_ShardedRun.ordered_delivery``).
+        # ascending sender order (see ``_ShardStepper.step_shard``).
         # Each group is two parallel flat lists (receiver index / Inbound),
         # like the local pending lists — no tuple per boundary message.
         self.remote_from: List[Tuple[List[int], List[Inbound]]] = [
@@ -144,14 +225,24 @@ class ShardingStats:
 
     Populated by :class:`ShardedEngine` when constructed with
     ``collect_stats=True`` (the registry instance does not collect, keeping
-    it stateless); the E14 benchmark uses this to report the cut-edge
-    message fraction per partitioner strategy.
+    it stateless); the E14/E15 benchmarks use this to report the cut-edge
+    message fraction per partitioner strategy and the serialized boundary
+    traffic of the process backend.
+
+    Attributes
+    ----------
+    boundary_bytes / barrier_rounds:
+        Packed wire bytes shipped across round barriers and the number of
+        barriers that shipped them.  Only the process backend serializes
+        boundary traffic, so both stay zero for the in-process backends.
     """
 
     def __init__(self) -> None:
         self.runs = 0
         self.protocol_messages = 0
         self.cross_shard_messages = 0
+        self.boundary_bytes = 0
+        self.barrier_rounds = 0
         self.plans: List[ShardPlan] = []
 
     @property
@@ -161,68 +252,61 @@ class ShardingStats:
             return 0.0
         return self.cross_shard_messages / self.protocol_messages
 
+    @property
+    def bytes_per_round(self) -> float:
+        """Mean packed boundary bytes per round barrier (process backend)."""
+        if self.barrier_rounds == 0:
+            return 0.0
+        return self.boundary_bytes / self.barrier_rounds
 
-class _ShardedRun:
-    """One sharded execution (all mutable state lives here, not the engine)."""
+
+class _ShardStepper:
+    """The per-shard round machinery, independent of where shards live.
+
+    Everything a single shard needs to start, step and drain its owned
+    nodes: the dense context list, the shared inbox buffers, the routing
+    tables and the model-rule knobs.  The in-process coordinator
+    (:class:`_ShardedRun`) holds one stepper for all shards; each worker
+    process of the ``"process"`` backend
+    (:mod:`repro.congest.sharding.workers`) holds a stepper whose
+    ``ctx_list`` is populated only at its own shard's indices.
+    """
 
     def __init__(
         self,
-        network: Network,
         protocol: Protocol,
         config: CongestConfig,
-        contexts: Dict[int, NodeContext],
-        plan: ShardPlan,
-        workers: int,
+        ctx_list: List[Optional[NodeContext]],
+        index_of: Dict[int, int],
+        owner: Sequence[int],
+        ordered_delivery: bool,
     ) -> None:
-        self.network = network
         self.protocol = protocol
-        self.config = config
-        self.plan = plan
-
-        ids, _indptr, _indices = network.csr()
-        self.index_of = network.node_index_of
-        self.ctx_list = [contexts[node_id] for node_id in ids]
-        self.contexts = contexts
-
-        self.owner = plan.owner
-        self.shards = [
-            _ShardState(index, owned, plan.n_shards)
-            for index, owned in enumerate(plan.shards)
-        ]
-        # Inbox buffers are shared (one slot per dense index) but each slot
-        # is only ever touched by the shard owning the receiver.
-        self.inbox_buffers: List[List[Inbound]] = [[] for _ in range(len(ids))]
+        self.ctx_list = ctx_list
+        self.index_of = index_of
+        self.owner = owner
+        self.ordered_delivery = ordered_delivery
+        self.inbox_buffers: List[List[Inbound]] = [[] for _ in ctx_list]
 
         self.enforce = config.enforce_congestion
         budget = config.message_bit_budget
         self.budget = budget
         self.budget_limit: float = float("inf") if budget is None else budget
-        self.quiesce_ok = bool(getattr(protocol, "quiesce_terminates", False))
         self.fast_finished = type(protocol).finished is Protocol.finished
 
-        # When every shard's owned-id range is disjoint from and below the
-        # next shard's (always true for the contiguous strategy), delivering
-        # the per-source message groups in shard order yields each inbox
-        # already in ascending-sender order — no per-box sort is needed.
-        ranges = [
-            (owned[0], owned[-1]) for owned in plan.shards if owned
-        ]
-        self.ordered_delivery = all(
-            ranges[i][1] < ranges[i + 1][0] for i in range(len(ranges) - 1)
-        )
+    @staticmethod
+    def ranges_are_ordered(plan: ShardPlan) -> bool:
+        """True when shard id ranges are disjoint and ascending.
 
-        active = [shard for shard in self.shards if shard.owned]
-        self.pool: Optional[ThreadPoolExecutor] = None
-        self.pool_width = 0
-        if workers >= 2 and len(active) >= 2:
-            self.pool_width = min(workers, len(active))
-            self.pool = ThreadPoolExecutor(
-                max_workers=self.pool_width,
-                thread_name_prefix="repro-shard",
-            )
+        Always true for the contiguous strategy: delivering the per-source
+        message groups in shard order then yields each inbox already in
+        ascending-sender order, so no per-box sort is needed.
+        """
+        ranges = [(owned[0], owned[-1]) for owned in plan.shards if owned]
+        return all(ranges[i][1] < ranges[i + 1][0] for i in range(len(ranges) - 1))
 
     # ------------------------------------------------------------------
-    def _drain(
+    def drain(
         self,
         shard: _ShardState,
         ctx: NodeContext,
@@ -293,7 +377,7 @@ class _ShardedRun:
         shard.local_messages += messages_seen - remote_seen
 
     # ------------------------------------------------------------------
-    def _start_shard(self, shard: _ShardState) -> RoundMetrics:
+    def start_shard(self, shard: _ShardState) -> RoundMetrics:
         """Round 0 for one shard: ``on_start`` every owned node, then drain."""
         rm = RoundMetrics(round_index=0)
         ctx_list = self.ctx_list
@@ -305,12 +389,12 @@ class _ShardedRun:
         for i in shard.owned:
             ctx = ctx_list[i]
             if ctx._outgoing:
-                self._drain(shard, ctx, 0, rm, None)
+                self.drain(shard, ctx, 0, rm, None)
         if self.fast_finished:
             shard.frontier = [i for i in shard.owned if not ctx_list[i]._halted]
         return rm
 
-    def _step_shard(self, shard: _ShardState, rounds: int) -> RoundMetrics:
+    def step_shard(self, shard: _ShardState, rounds: int) -> RoundMetrics:
         """One round for one shard: deliver, invoke the frontier, drain."""
         rm = RoundMetrics(round_index=rounds)
         pairs: Optional[Set[Tuple[int, int]]] = None if self.enforce else set()
@@ -382,7 +466,7 @@ class _ShardedRun:
                 if ctx._halted:
                     any_halted = True
                 if ctx._outgoing:
-                    self._drain(shard, ctx, rounds, rm, pairs)
+                    self.drain(shard, ctx, rounds, rm, pairs)
             if any_halted:
                 shard.frontier = [
                     i for i in frontier if not ctx_list[i]._halted
@@ -399,7 +483,7 @@ class _ShardedRun:
                 box = buffers[i]
                 on_round(ctx, box if box else _EMPTY_INBOX)
                 if ctx._outgoing:
-                    self._drain(shard, ctx, rounds, rm, pairs)
+                    self.drain(shard, ctx, rounds, rm, pairs)
             rm.active_nodes = active
 
         for i in touched:
@@ -412,6 +496,45 @@ class _ShardedRun:
             else len(pairs)
         )
         return rm
+
+
+class _ShardedRun(_ShardStepper):
+    """One in-process sharded execution (serial or thread-pool backend)."""
+
+    def __init__(
+        self,
+        network: Network,
+        protocol: Protocol,
+        config: CongestConfig,
+        contexts: Dict[int, NodeContext],
+        plan: ShardPlan,
+        workers: int,
+    ) -> None:
+        ids, _indptr, _indices = network.csr()
+        super().__init__(
+            protocol=protocol,
+            config=config,
+            ctx_list=[contexts[node_id] for node_id in ids],
+            index_of=network.node_index_of,
+            owner=plan.owner,
+            ordered_delivery=self.ranges_are_ordered(plan),
+        )
+        self.network = network
+        self.config = config
+        self.contexts = contexts
+        self.plan = plan
+        self.quiesce_ok = bool(getattr(protocol, "quiesce_terminates", False))
+
+        self.shards = [
+            _ShardState(index, owned, plan.n_shards)
+            for index, owned in enumerate(plan.shards)
+        ]
+
+        active = [shard for shard in self.shards if shard.owned]
+        self.pool: Optional[ThreadPoolExecutor] = None
+        self.pool_width = 0
+        if workers >= 2 and len(active) >= 2:
+            self.pool_width = min(workers, len(active))
 
     # ------------------------------------------------------------------
     #: A round whose estimated work (messages in flight plus nodes to
@@ -476,15 +599,37 @@ class _ShardedRun:
         )
 
     # ------------------------------------------------------------------
+    def traffic_totals(self) -> Tuple[int, int]:
+        """(protocol messages, cross-shard messages) over the whole run."""
+        local = sum(shard.local_messages for shard in self.shards)
+        remote = sum(shard.remote_messages for shard in self.shards)
+        return local + remote, remote
+
+    #: Packed boundary traffic: the in-process backends never serialize, so
+    #: the stats fields stay zero (contrast ``ProcessShardedRun``).
+    boundary_bytes = 0
+    barrier_rounds = 0
+
+    # ------------------------------------------------------------------
     def run(self) -> RunResult:
         config = self.config
         protocol = self.protocol
         ctx_list = self.ctx_list
         metrics = RunMetrics()
-        try:
+        with ExitStack() as stack:
+            if self.pool_width >= 2:
+                # The pool lives exactly as long as this execute call; the
+                # ExitStack guarantees teardown on every exit path, so the
+                # shared registry singleton never leaks worker threads.
+                self.pool = stack.enter_context(
+                    ThreadPoolExecutor(
+                        max_workers=self.pool_width,
+                        thread_name_prefix="repro-shard",
+                    )
+                )
             startup_metrics = RoundMetrics(round_index=0)
             in_flight = self._barrier(
-                self._run_shards(self._start_shard, work_hint=len(ctx_list)),
+                self._run_shards(self.start_shard, work_hint=len(ctx_list)),
                 startup_metrics,
             )
             startup_metrics.edges_used = 0  # startup edges are not counted
@@ -492,7 +637,6 @@ class _ShardedRun:
 
             rounds = 0
             silent_rounds = 0
-            max_rounds = config.max_rounds
             while True:
                 if self.fast_finished:
                     all_done = not any(
@@ -501,31 +645,22 @@ class _ShardedRun:
                 else:
                     finished = protocol.finished
                     all_done = all(finished(ctx) for ctx in ctx_list)
-                if all_done and not in_flight:
+                stop, silent_rounds = coordinator_should_stop(
+                    all_done,
+                    in_flight,
+                    rounds,
+                    silent_rounds,
+                    self.quiesce_ok,
+                    config.max_rounds,
+                    protocol.name,
+                )
+                if stop:
                     break
-                if not in_flight and rounds > 0 and self.quiesce_ok:
-                    break
-                if not in_flight and rounds > 0:
-                    silent_rounds += 1
-                    if silent_rounds >= _STALL_LIMIT:
-                        raise ProtocolError(
-                            "protocol %r stalled: no messages in flight, nodes "
-                            "not finished, after %d silent rounds"
-                            % (protocol.name, silent_rounds)
-                        )
-                else:
-                    silent_rounds = 0
-                if max_rounds is not None and rounds >= max_rounds:
-                    raise RoundLimitExceeded(max_rounds)
 
                 rounds += 1
                 round_metrics = RoundMetrics(round_index=rounds)
                 if rounds == 1:
-                    round_metrics.messages_sent = startup_metrics.messages_sent
-                    round_metrics.bits_sent = startup_metrics.bits_sent
-                    round_metrics.max_message_bits = (
-                        startup_metrics.max_message_bits
-                    )
+                    merge_startup_metrics(round_metrics, startup_metrics)
                 current_round = rounds
                 if self.fast_finished:
                     to_invoke = sum(
@@ -535,15 +670,13 @@ class _ShardedRun:
                     to_invoke = len(ctx_list)
                 in_flight = self._barrier(
                     self._run_shards(
-                        lambda shard: self._step_shard(shard, current_round),
+                        lambda shard: self.step_shard(shard, current_round),
                         work_hint=in_flight + to_invoke,
                     ),
                     round_metrics,
                 )
                 metrics.absorb_round(round_metrics, config.record_round_metrics)
-        finally:
-            if self.pool is not None:
-                self.pool.shutdown(wait=True)
+        self.pool = None
 
         # Halted nodes were skipped by the frontier; align their round
         # counters with the reference before harvesting.
@@ -561,16 +694,18 @@ class ShardedEngine(Engine):
 
     Selectable as ``engine="sharded"``.  The registry instance reads every
     knob from the configuration (``CongestConfig.shards``,
-    ``CongestConfig.shard_workers``, ``CongestConfig.shard_strategy``);
-    constructor arguments override the configuration for callers that build
-    their own instance (the E14 benchmark, tests).
+    ``CongestConfig.shard_workers``, ``CongestConfig.shard_strategy``,
+    ``CongestConfig.shard_backend``); constructor arguments override the
+    configuration for callers that build their own instance (the E14/E15
+    benchmarks, tests).
 
     Parameters
     ----------
-    shards / workers / strategy:
+    shards / workers / strategy / backend:
         Shard count, thread-pool width (``<= 1`` means the serial
-        deterministic mode) and partitioner strategy.  ``None`` defers to
-        the configuration.
+        deterministic mode), partitioner strategy and execution backend
+        (one of :data:`SHARD_BACKENDS`).  ``None`` defers to the
+        configuration.
     partition_seed:
         Seed of the partitioner's RNG (plans are deterministic for a fixed
         seed).
@@ -588,14 +723,21 @@ class ShardedEngine(Engine):
         shards: Optional[int] = None,
         workers: Optional[int] = None,
         strategy: Optional[str] = None,
+        backend: Optional[str] = None,
         partition_seed: int = 0,
         collect_stats: bool = False,
     ) -> None:
         if shards is not None and shards < 1:
             raise ValueError("shards must be at least 1 when given")
+        if backend is not None and backend not in SHARD_BACKENDS:
+            raise ValueError(
+                "unknown shard backend %r; available backends: %s"
+                % (backend, ", ".join(SHARD_BACKENDS))
+            )
         self.shards = shards
         self.workers = workers
         self.strategy = strategy
+        self.backend = backend
         self.partition_seed = partition_seed
         self.stats: Optional[ShardingStats] = (
             ShardingStats() if collect_stats else None
@@ -617,6 +759,12 @@ class ShardedEngine(Engine):
         strategy = (
             self.strategy if self.strategy is not None else config.shard_strategy
         )
+        backend = self.backend if self.backend is not None else config.shard_backend
+        if backend not in SHARD_BACKENDS:
+            raise ValueError(
+                "unknown shard backend %r; available backends: %s"
+                % (backend, ", ".join(SHARD_BACKENDS))
+            )
         plan = cached_partition(
             network, shards, strategy=strategy, seed=self.partition_seed
         )
@@ -625,23 +773,35 @@ class ShardedEngine(Engine):
             per_node_inputs=per_node_inputs,
             fresh=not reuse_contexts,
         )
-        run = _ShardedRun(
-            network=network,
-            protocol=protocol,
-            config=config,
-            contexts=contexts,
-            plan=plan,
-            workers=workers,
-        )
+        if backend == "process" and any(owned for owned in plan.shards):
+            # Imported lazily: workers.py needs this module's stepper.
+            from repro.congest.sharding.workers import ProcessShardedRun
+
+            run = ProcessShardedRun(
+                network=network,
+                protocol=protocol,
+                config=config,
+                contexts=contexts,
+                plan=plan,
+            )
+        else:
+            run = _ShardedRun(
+                network=network,
+                protocol=protocol,
+                config=config,
+                contexts=contexts,
+                plan=plan,
+                workers=0 if backend == "serial" else workers,
+            )
         result = run.run()
         if self.stats is not None:
             self.stats.runs += 1
             self.stats.plans.append(plan)
-            for shard in run.shards:
-                self.stats.protocol_messages += (
-                    shard.local_messages + shard.remote_messages
-                )
-                self.stats.cross_shard_messages += shard.remote_messages
+            total, cross = run.traffic_totals()
+            self.stats.protocol_messages += total
+            self.stats.cross_shard_messages += cross
+            self.stats.boundary_bytes += run.boundary_bytes
+            self.stats.barrier_rounds += run.barrier_rounds
         return result
 
 

@@ -1,0 +1,599 @@
+"""Worker processes for the sharded engine's ``"process"`` backend.
+
+One long-lived worker process per non-empty shard: the worker receives its
+shard's contexts, the routing tables and the protocol once at startup, then
+steps its frontier every round, exchanging only *boundary* traffic with the
+coordinator at the round barrier — packed by
+:mod:`repro.congest.sharding.wire` into flat arrays instead of pickled
+per-message objects.  The coordinator (:class:`ProcessShardedRun`) keeps the
+exact round-loop structure of the in-process sharded run: per-shard
+:class:`repro.congest.metrics.RoundMetrics` partials are folded in ascending
+shard order at the barrier, and termination, quiescence, the stall counter
+and the round cap are evaluated centrally on the aggregated view — so the
+process boundary is invisible to the engine contract (same outputs, same
+round counts, same metrics, same exception types).
+
+Protocol of one run (all traffic over one duplex pipe per worker)::
+
+    coordinator                         worker
+    -----------                         ------
+    init payload  ────────────────────▶ build stepper + shard state
+    ("start",)    ────────────────────▶ on_start + drain owned nodes
+                  ◀──────────────────── ("ok", metrics, pending, open, batches)
+    ("round", r, batches) ────────────▶ deliver + step + drain
+                  ◀──────────────────── ("ok", metrics, pending, open, batches)
+    ...                                 ...
+    ("finish", r) ────────────────────▶ collect outputs + context state
+                  ◀──────────────────── ("done", outputs, states, traffic)
+
+A model-rule violation inside a worker (``CongestionViolation``,
+``MessageSizeViolation``, ``ProtocolError``...) is pickled back and
+re-raised by the coordinator with its original type.  A worker that dies
+without reporting — hard crash, ``os._exit``, unpicklable exception — is
+detected at the next ``recv`` (the pipe returns EOF) and surfaces as
+:class:`repro.congest.errors.ShardWorkerError` instead of leaving the
+barrier waiting on a corpse; a worker that is alive but stuck in protocol
+code is deliberately *not* timed out, because it is indistinguishable from
+a legitimately slow round (see the ``ShardWorkerError`` docstring).
+Workers are daemonic and context-managed: every exit path of ``run``
+closes the pipes (unblocking any worker still waiting on a command) and
+joins, escalating to ``terminate`` only for processes that ignore the
+EOF, so an ``execute`` call never leaks processes.
+
+State round trip
+----------------
+The engine contract includes composite pipelines that chain protocols over
+the same contexts (``reuse_contexts=True``), so after the final round every
+worker ships back the mutable face of each owned context — ``state``,
+``output``, halted flag, globals and the private RNG state — and the
+coordinator folds it into the parent's context objects in place.  The cost
+of that round trip is one pickle per run, not per round; everything a
+protocol may put in per-node state must therefore be picklable (true for
+every protocol in this package).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+from array import array
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.congest.config import CongestConfig
+from repro.congest.engine import RunResult
+from repro.congest.errors import ShardWorkerError
+from repro.congest.metrics import RoundMetrics, RunMetrics
+from repro.congest.network import Network
+from repro.congest.node import NodeContext, Protocol
+from repro.congest.sharding.engine import (
+    _ShardState,
+    _ShardStepper,
+    coordinator_should_stop,
+    merge_startup_metrics,
+)
+from repro.congest.sharding.partition import ShardPlan
+from repro.congest.sharding.wire import WireBatch, WireDecoder, WireEncoder
+
+__all__ = ["ProcessShardedRun"]
+
+#: Seconds a worker gets to exit after its pipe is closed before the pool
+#: escalates to ``terminate``.  Generous: a healthy worker exits on EOF
+#: immediately; only a worker stuck in protocol code ever waits this long.
+_JOIN_TIMEOUT = 5.0
+
+
+def _mp_context():
+    """``fork`` when the platform offers it (cheap startup), else default.
+
+    The fork start method also makes the per-worker init payload — the
+    shard's contexts, the routing tables — free to ship: it travels as a
+    ``Process`` argument, which fork passes by copy-on-write memory
+    inheritance instead of pickling (measurably the dominant setup cost at
+    n in the thousands: per-node RNG states alone pickle to ~2.5 KB each).
+    Under spawn the same argument is pickled by ``Process.start``, which is
+    simply the explicit-shipping behaviour.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _pack_rng_state(state) -> Tuple:
+    """Compact a ``random.Random`` state for the wire.
+
+    The default Mersenne state is ``(3, <625-tuple of uint32>, gauss)``;
+    pickling 625 individual ints per node dominates the finish-time state
+    round trip, so the tuple is flattened to one ``bytes`` object.  Any
+    other shape (subclassed generators) passes through unpacked.
+    """
+    if state[0] == 3 and len(state[1]) == 625:
+        return ("mt3", array("I", state[1]).tobytes(), state[2])
+    return ("raw", state)
+
+
+def _unpack_rng_state(packed: Tuple):
+    if packed[0] == "mt3":
+        internal = array("I")
+        internal.frombytes(packed[1])
+        return (3, tuple(internal), packed[2])
+    return packed[1]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class _WorkerHarness:
+    """One shard's round machinery inside its worker process."""
+
+    def __init__(self, init: Dict[str, Any], protocol: Protocol) -> None:
+        # The stepper is the same class the in-process backends use; only
+        # this shard's slots of the dense context list are populated.
+        ctx_list: List[Optional[NodeContext]] = [None] * init["n"]
+        for dense_index, ctx in init["contexts"].items():
+            ctx_list[dense_index] = ctx
+        self.stepper = _ShardStepper(
+            protocol=protocol,
+            config=init["config"],
+            ctx_list=ctx_list,
+            index_of=init["index_of"],
+            owner=init["owner"],
+            ordered_delivery=init["ordered_delivery"],
+        )
+        self.shard = _ShardState(
+            init["shard_index"], init["owned"], init["n_shards"]
+        )
+        # One wire channel per (this shard → destination) and per
+        # (source → this shard); kind-interning tables stay synchronized
+        # because batches travel and decode in round order.
+        self.encoders: Dict[int, WireEncoder] = {}
+        self.decoders: Dict[int, WireDecoder] = {}
+
+    # ------------------------------------------------------------------
+    def _report(self, rm: RoundMetrics) -> Tuple:
+        """Pack one round's results for the coordinator."""
+        shard = self.shard
+        batches: List[Tuple[int, WireBatch]] = []
+        out_buckets = shard.out_buckets
+        for destination, (indices, inbounds) in enumerate(out_buckets):
+            if not indices:
+                continue
+            encoder = self.encoders.get(destination)
+            if encoder is None:
+                encoder = self.encoders[destination] = WireEncoder()
+            batches.append((destination, encoder.encode(indices, inbounds)))
+            out_buckets[destination] = ([], [])
+        stepper = self.stepper
+        if stepper.fast_finished:
+            open_nodes = len(shard.frontier)
+        else:
+            finished = stepper.protocol.finished
+            ctx_list = stepper.ctx_list
+            open_nodes = sum(
+                1 for i in shard.owned if not finished(ctx_list[i])
+            )
+        packed_metrics = (
+            rm.messages_sent,
+            rm.bits_sent,
+            rm.max_message_bits,
+            rm.edges_used,
+            rm.active_nodes,
+        )
+        return (
+            "ok",
+            packed_metrics,
+            len(shard.pending_index),
+            open_nodes,
+            batches,
+        )
+
+    def start(self) -> Tuple:
+        return self._report(self.stepper.start_shard(self.shard))
+
+    def step(
+        self, rounds: int, incoming: Sequence[Tuple[int, WireBatch]]
+    ) -> Tuple:
+        shard = self.shard
+        for source, batch in incoming:
+            decoder = self.decoders.get(source)
+            if decoder is None:
+                decoder = self.decoders[source] = WireDecoder()
+            shard.remote_from[source] = decoder.decode(batch)
+        return self._report(self.stepper.step_shard(shard, rounds))
+
+    def finish(self, rounds: int) -> Tuple:
+        stepper = self.stepper
+        ctx_list = stepper.ctx_list
+        protocol = stepper.protocol
+        outputs: Dict[int, Any] = {}
+        states: Dict[int, Tuple] = {}
+        for i in self.shard.owned:
+            ctx = ctx_list[i]
+            ctx._round = rounds
+            outputs[ctx.node_id] = protocol.collect_output(ctx)
+            states[ctx.node_id] = (
+                ctx.state,
+                ctx.output,
+                ctx._halted,
+                ctx.globals,
+                _pack_rng_state(ctx._rng.getstate())
+                if ctx._rng is not None
+                else None,
+            )
+        traffic = (self.shard.local_messages, self.shard.remote_messages)
+        return ("done", outputs, states, traffic)
+
+
+def _send_error(conn, exc: BaseException) -> None:
+    """Ship an exception to the coordinator, degrading to text if needed."""
+    try:
+        conn.send(("error", exc))
+    except Exception:
+        try:
+            conn.send(("error_text", type(exc).__name__, str(exc)))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
+
+
+def _worker_main(conn, init: Dict[str, Any]) -> None:
+    """Entry point of one worker process (module-level: spawn-safe).
+
+    *init* — the shard's contexts and routing tables — arrives as a process
+    argument: free under fork (memory inheritance), pickled by ``start``
+    under spawn.  The protocol object alone still arrives over the pipe, so
+    "process-backend protocols must be picklable" holds on every platform.
+    """
+    harness: Optional[_WorkerHarness] = None
+    try:
+        while True:
+            try:
+                command = conn.recv()
+            except (EOFError, OSError):
+                break  # coordinator went away; nothing left to do
+            op = command[0]
+            try:
+                if op == "init":
+                    harness = _WorkerHarness(init, command[1])
+                    continue  # no response: the coordinator pipelines start
+                if op == "start":
+                    response = harness.start()
+                elif op == "round":
+                    response = harness.step(command[1], command[2])
+                elif op == "finish":
+                    conn.send(harness.finish(command[1]))
+                    break
+                else:  # "abort" or anything unrecognized: exit quietly
+                    break
+            except BaseException as exc:
+                _send_error(conn, exc)
+                break
+            try:
+                conn.send(response)
+            except (BrokenPipeError, OSError):
+                break  # coordinator aborted mid-report
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+class _WorkerHandle:
+    __slots__ = ("shard_index", "process", "conn")
+
+    def __init__(self, shard_index: int, process, conn) -> None:
+        self.shard_index = shard_index
+        self.process = process
+        self.conn = conn
+
+
+def _reap(handles: List[_WorkerHandle]) -> None:
+    """Tear down workers: close pipes, join, escalate to terminate.
+
+    Closing the pipe first unblocks any worker waiting in ``recv`` (it
+    exits on the EOF); a worker that ignores the EOF past the join timeout
+    is terminated.  ``Process.close`` releases the fds eagerly rather than
+    at garbage collection, which keeps ``active_children()`` truthful —
+    the per-execute leak regression in ``tests/test_sharding.py`` relies
+    on it.
+    """
+    for handle in handles:
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+    for handle in handles:
+        handle.process.join(timeout=_JOIN_TIMEOUT)
+        if handle.process.is_alive():  # pragma: no cover - stuck worker
+            handle.process.terminate()
+            handle.process.join()
+        handle.process.close()
+
+
+class _WorkerPool:
+    """Context manager owning the worker processes of one execution.
+
+    Guarantees that no worker outlives the ``execute`` call that spawned
+    it: every exit path runs :func:`_reap`.  The engine registry shares one
+    ``ShardedEngine`` singleton across all callers, so pool lifetime must
+    be bound to the run, never the engine.
+    """
+
+    def __init__(self, handles: List[_WorkerHandle]) -> None:
+        self.handles = handles
+
+    def __enter__(self) -> "_WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _reap(self.handles)
+
+
+class ProcessShardedRun:
+    """One process-backed sharded execution (the ``"process"`` backend).
+
+    Mirrors the in-process ``_ShardedRun`` coordinator loop exactly —
+    startup barrier, per-round fold in ascending shard order, the same
+    termination / quiescence / stall / round-cap decisions — but the
+    shards live in worker processes and boundary buckets cross the barrier
+    as packed :class:`repro.congest.sharding.wire.WireBatch` columns.
+
+    Attributes
+    ----------
+    boundary_bytes / barrier_rounds:
+        Packed boundary traffic shipped over the run and the number of
+        barriers (startup plus one per round); feeds
+        :class:`repro.congest.sharding.engine.ShardingStats` and the E15
+        benchmark's bytes-per-round report.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        protocol: Protocol,
+        config: CongestConfig,
+        contexts: Dict[int, NodeContext],
+        plan: ShardPlan,
+    ) -> None:
+        self.network = network
+        self.protocol = protocol
+        self.config = config
+        self.contexts = contexts
+        self.plan = plan
+        ids, _indptr, _indices = network.csr()
+        self.ids = ids
+        self.index_of = network.node_index_of
+        self.ordered_delivery = _ShardStepper.ranges_are_ordered(plan)
+        self.quiesce_ok = bool(getattr(protocol, "quiesce_terminates", False))
+        self.fast_finished = type(protocol).finished is Protocol.finished
+        self.boundary_bytes = 0
+        self.barrier_rounds = 0
+        self._traffic: List[Tuple[int, int]] = []
+
+    # ------------------------------------------------------------------
+    def traffic_totals(self) -> Tuple[int, int]:
+        """(protocol messages, cross-shard messages) over the whole run."""
+        local = sum(pair[0] for pair in self._traffic)
+        remote = sum(pair[1] for pair in self._traffic)
+        return local + remote, remote
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> List[_WorkerHandle]:
+        context = _mp_context()
+        handles: List[_WorkerHandle] = []
+        ids = self.ids
+        init_common = {
+            "n": len(ids),
+            "n_shards": self.plan.n_shards,
+            "index_of": self.index_of,
+            "owner": self.plan.owner,
+            "ordered_delivery": self.ordered_delivery,
+            "config": self.config,
+        }
+        for shard_index, owned in enumerate(self.plan.shards):
+            if not owned:
+                continue
+            # The shard's contexts ride as a Process argument: inherited
+            # for free under fork, pickled by start() under spawn.
+            init = dict(init_common)
+            init.update(
+                shard_index=shard_index,
+                owned=owned,
+                contexts={i: self.contexts[ids[i]] for i in owned},
+            )
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, init),
+                name="repro-shard-%d" % shard_index,
+                daemon=True,
+            )
+            try:
+                process.start()
+            except Exception as exc:  # spawn-mode pickling failures
+                _reap(handles)
+                raise ShardWorkerError(
+                    "failed to ship shard %d to its worker process: %s "
+                    "(process-backend per-node state must be picklable)"
+                    % (shard_index, exc)
+                ) from exc
+            child_conn.close()
+            handles.append(_WorkerHandle(shard_index, process, parent_conn))
+        return handles
+
+    def _initialize(self, handles: List[_WorkerHandle]) -> None:
+        """Ship each worker the protocol (called inside the pool context, so
+        a failed ship — an unpicklable protocol, a dead worker — still tears
+        every process down)."""
+        for handle in handles:
+            try:
+                handle.conn.send(("init", self.protocol))
+            except Exception as exc:
+                raise ShardWorkerError(
+                    "failed to ship the protocol to the shard %d worker: %s "
+                    "(process-backend protocols and per-node state must be "
+                    "picklable)" % (handle.shard_index, exc)
+                ) from exc
+
+    def _send(self, handle: _WorkerHandle, command: Tuple) -> None:
+        """Send a command, surfacing a dead worker as the documented error.
+
+        A worker can die *between* barriers (OOM kill, segfault) with its
+        last report already buffered — the next send then hits a broken
+        pipe, which must surface as :class:`ShardWorkerError` like every
+        other worker-death path, not as a raw ``OSError`` that escapes the
+        ``CongestError`` hierarchy callers catch uniformly.
+        """
+        try:
+            handle.conn.send(command)
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardWorkerError(
+                "worker process for shard %d (pid %s) died before %r"
+                % (handle.shard_index, handle.process.pid, command[0])
+            ) from exc
+
+    def _recv(self, handle: _WorkerHandle) -> Tuple:
+        try:
+            message = handle.conn.recv()
+        except (EOFError, OSError):
+            raise ShardWorkerError(
+                "worker process for shard %d (pid %s) died without reporting"
+                % (handle.shard_index, handle.process.pid)
+            ) from None
+        except Exception as exc:
+            # The report pickled on the worker side but failed to decode
+            # here — e.g. a protocol's custom exception whose __init__
+            # takes structured arguments but whose default reduction
+            # replays the formatted message (the trap this package's own
+            # violations dodge via __reduce__).  Surface the decode
+            # failure instead of letting an unrelated TypeError mask it.
+            raise ShardWorkerError(
+                "report from the shard %d worker could not be decoded: %s: %s"
+                % (handle.shard_index, type(exc).__name__, exc)
+            ) from exc
+        op = message[0]
+        if op == "error":
+            raise message[1]
+        if op == "error_text":
+            raise ShardWorkerError(
+                "worker process for shard %d failed with unpicklable "
+                "%s: %s" % (handle.shard_index, message[1], message[2])
+            )
+        return message
+
+    def _barrier(
+        self,
+        handles: List[_WorkerHandle],
+        into: RoundMetrics,
+        routed: Dict[int, List[Tuple[int, WireBatch]]],
+    ) -> Tuple[int, int]:
+        """Collect one round's reports in ascending shard order.
+
+        Folds the packed metrics partials into *into*, stages each outbound
+        batch for its destination worker in *routed*, and returns
+        ``(in_flight, open_nodes)`` — pending local deliveries plus routed
+        boundary deliveries, and the surviving frontier size (or unfinished
+        count on the compatibility path).
+        """
+        in_flight = 0
+        open_nodes = 0
+        barrier_bytes = 0
+        for handle in handles:
+            _op, packed, pending_local, shard_open, batches = self._recv(handle)
+            messages_sent, bits_sent, max_bits, edges_used, active = packed
+            into.messages_sent += messages_sent
+            into.bits_sent += bits_sent
+            into.edges_used += edges_used
+            into.active_nodes += active
+            if max_bits > into.max_message_bits:
+                into.max_message_bits = max_bits
+            in_flight += pending_local
+            open_nodes += shard_open
+            for destination, batch in batches:
+                routed.setdefault(destination, []).append(
+                    (handle.shard_index, batch)
+                )
+                in_flight += batch.deliveries
+                barrier_bytes += batch.wire_bytes()
+        self.boundary_bytes += barrier_bytes
+        self.barrier_rounds += 1
+        return in_flight, open_nodes
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        # The termination decisions and the round-1 startup-metrics merge
+        # are the shared helpers of sharding/engine.py — evaluated here on
+        # worker-reported aggregates, in _ShardedRun on local state — so
+        # the engine contract's round counts cannot drift between the
+        # coordinators.
+        config = self.config
+        metrics = RunMetrics()
+        rounds = 0
+        with _WorkerPool(self._spawn()) as pool:
+            handles = pool.handles
+            self._initialize(handles)
+            for handle in handles:
+                self._send(handle, ("start",))
+            startup_metrics = RoundMetrics(round_index=0)
+            routed: Dict[int, List[Tuple[int, WireBatch]]] = {}
+            in_flight, open_nodes = self._barrier(
+                handles, startup_metrics, routed
+            )
+            startup_metrics.edges_used = 0  # startup edges are not counted
+            startup_metrics.active_nodes = 0
+
+            silent_rounds = 0
+            while True:
+                stop, silent_rounds = coordinator_should_stop(
+                    open_nodes == 0,
+                    in_flight,
+                    rounds,
+                    silent_rounds,
+                    self.quiesce_ok,
+                    config.max_rounds,
+                    self.protocol.name,
+                )
+                if stop:
+                    break
+
+                rounds += 1
+                round_metrics = RoundMetrics(round_index=rounds)
+                if rounds == 1:
+                    merge_startup_metrics(round_metrics, startup_metrics)
+                outgoing, routed = routed, {}
+                for handle in handles:
+                    self._send(
+                        handle,
+                        ("round", rounds, outgoing.get(handle.shard_index, [])),
+                    )
+                in_flight, open_nodes = self._barrier(
+                    handles, round_metrics, routed
+                )
+                metrics.absorb_round(round_metrics, config.record_round_metrics)
+
+            # Harvest: outputs plus the mutable context state, folded back
+            # into the parent's context objects so composite pipelines
+            # (reuse_contexts=True) chain across engines transparently.
+            merged_outputs: Dict[int, Any] = {}
+            for handle in handles:
+                self._send(handle, ("finish", rounds))
+            for handle in handles:
+                _op, outputs, states, traffic = self._recv(handle)
+                merged_outputs.update(outputs)
+                self._traffic.append(traffic)
+                for node_id, packed_state in states.items():
+                    state, output, halted, globals_, rng_state = packed_state
+                    ctx = self.contexts[node_id]
+                    ctx.state.clear()
+                    ctx.state.update(state)
+                    ctx.output = output
+                    ctx._halted = halted
+                    ctx._round = rounds
+                    ctx._outgoing = {}
+                    ctx.globals.clear()
+                    ctx.globals.update(globals_)
+                    if rng_state is not None and ctx._rng is not None:
+                        ctx._rng.setstate(_unpack_rng_state(rng_state))
+
+        outputs = {node_id: merged_outputs[node_id] for node_id in self.contexts}
+        return RunResult(outputs=outputs, metrics=metrics, contexts=self.contexts)

@@ -36,12 +36,33 @@ class Outbox:
     # ------------------------------------------------------------------
     @classmethod
     def for_ctx(cls, ctx: NodeContext) -> "Outbox":
-        """Return the node's outbox, creating it on first use."""
+        """Return the node's outbox, creating it on first use.
+
+        The outbox lives in ``ctx.state`` and therefore travels whenever
+        per-node state is copied — the async engine's pre-run snapshot, the
+        sharded engine's process-backend round trip — so the context
+        binding is (re-)established here rather than trusted from the
+        copy: a queued-but-unsent pipeline must drain into the context
+        that is actually being executed, not into the snapshot it was
+        copied from.
+        """
         outbox = ctx.state.get(cls.STATE_KEY)
         if outbox is None:
             outbox = cls(ctx)
             ctx.state[cls.STATE_KEY] = outbox
+        elif outbox._ctx is not ctx:
+            outbox._ctx = ctx
         return outbox
+
+    def __getstate__(self):
+        # Only the queues travel; the context binding would drag a stale
+        # NodeContext copy through every pickle and is repaired by
+        # :meth:`for_ctx` on first use after a round trip.
+        return self._queues
+
+    def __setstate__(self, queues) -> None:
+        self._ctx = None  # rebound by for_ctx
+        self._queues = queues
 
     # ------------------------------------------------------------------
     def push(self, neighbor: int, message: Message) -> None:

@@ -16,7 +16,10 @@ each engine on a pool of seeded graphs and asserts exact equality.
 Every test that compares a backend against the reference is parametrized by
 the backend's registry name, so a failure names the diverging engine in its
 test id — which is also what lets CI run the suite once per engine with
-``-k <engine>``.
+``-k <engine>``.  The sharded engine's process backend (worker processes
+exchanging packed boundary batches) gets its own arm,
+:class:`TestProcessBackend`, whose ids carry ``process`` for the same
+reason.
 """
 
 from __future__ import annotations
@@ -381,6 +384,87 @@ class TestShardedConfigurations:
                 _trace(result.metrics),
             )
         assert results["sharded"] == results["reference"]
+
+
+class TestProcessBackend:
+    """The sharded engine's process backend: worker processes + wire codec.
+
+    Every boundary message of these runs crosses a real process boundary in
+    the packed wire format, and every context round-trips through pickle at
+    the end of each execute — so this arm exercises serialization paths the
+    in-process backends never touch.  Test ids contain ``process`` so the
+    CI engine matrix selects exactly this arm with ``-k process``.
+    """
+
+    @pytest.mark.parametrize("graph", [g for _, g in GRAPHS], ids=GRAPH_IDS)
+    def test_primitive_pipeline_identical_process(self, graph):
+        reference = _run_primitive_suite(graph, "reference")
+        candidate = _run_primitive_suite(
+            graph, "sharded", shards=2, shard_backend="process"
+        )
+        assert candidate == reference, "process backend diverged"
+
+    @pytest.mark.parametrize("shards", [1, 3])
+    @pytest.mark.parametrize("strategy", ["contiguous", "bfs", "bfs+refine"])
+    def test_process_shards_and_strategies(self, shards, strategy):
+        graph, _ = generators.planted_near_clique(
+            n=40, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=7
+        )
+        reference = _run_primitive_suite(graph, "reference")
+        candidate = _run_primitive_suite(
+            graph,
+            "sharded",
+            shards=shards,
+            shard_strategy=strategy,
+            shard_backend="process",
+        )
+        assert candidate == reference, (
+            "process backend diverged with %d %s shards" % (shards, strategy)
+        )
+
+    def test_full_runner_identical_process(self):
+        graph, _ = generators.planted_near_clique(
+            n=60, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=3
+        )
+        results = {}
+        for name, config in (
+            ("reference", CongestConfig(engine="reference")),
+            ("process", CongestConfig().with_sharding(shards=4, backend="process")),
+        ):
+            runner = DistNearCliqueRunner(
+                epsilon=0.25,
+                sample_probability=0.1,
+                rng=random.Random(1003),
+                config=config.with_log_budget(graph.number_of_nodes()),
+            )
+            result = runner.run(graph)
+            results[name] = (
+                result.labels,
+                result.sample,
+                result.metrics.rounds,
+                result.metrics.total_messages,
+                result.metrics.total_bits,
+                _trace(result.metrics),
+            )
+        assert results["process"] == results["reference"]
+
+    def test_overridden_finished_identical_process(self):
+        # ShinglesProtocol's overridden ``finished`` forces the per-round
+        # predicate scan; the workers evaluate it shard-locally.
+        graph, _ = generators.shingles_counterexample(n=24, delta=0.5)
+        fingerprints = {}
+        for name, config in (
+            ("reference", CongestConfig(engine="reference")),
+            ("process", CongestConfig().with_sharding(shards=3, backend="process")),
+        ):
+            network = Network(graph, seed=4)
+            result = run_protocol(
+                network,
+                ShinglesProtocol(),
+                config=config.with_log_budget(network.n),
+            )
+            fingerprints[name] = _fingerprint(result)
+        assert fingerprints["process"] == fingerprints["reference"]
 
 
 class TestAsyncControlOverhead:

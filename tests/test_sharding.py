@@ -11,16 +11,31 @@ traffic statistics).
 
 from __future__ import annotations
 
+import dataclasses
+import multiprocessing
+import os
+import pickle
+import random
+import threading
+import time
+
 import networkx as nx
 import pytest
 
 from repro.congest.config import CongestConfig
+from repro.congest.errors import (
+    CongestionViolation,
+    MessageSizeViolation,
+    RoundLimitExceeded,
+    ShardWorkerError,
+)
 from repro.congest.message import Message
 from repro.congest.network import Network
 from repro.congest.node import Protocol
 from repro.congest.scheduler import run_protocol
 from repro.congest.sharding import (
     PARTITION_STRATEGIES,
+    SHARD_BACKENDS,
     ShardPlan,
     ShardedEngine,
     partition_network,
@@ -140,6 +155,50 @@ class TestPartitioner:
         assert "cut" in text and "contiguous" in text
 
 
+class TestRefinedPartitioner:
+    """The FM-style boundary-refinement sweep behind ``"bfs+refine"``."""
+
+    def _shuffled_gnp(self, n=200, p=0.05, seed=5):
+        # Relabel randomly so node ids carry no locality — the workload the
+        # refinement sweep exists for (real edge lists).
+        graph = nx.gnp_random_graph(n, p, seed=seed)
+        permutation = list(graph.nodes())
+        random.Random(seed).shuffle(permutation)
+        return nx.relabel_nodes(
+            graph, dict(zip(graph.nodes(), permutation))
+        )
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_never_cuts_more_than_bfs(self, k):
+        network = Network(self._shuffled_gnp(), seed=0)
+        bfs = partition_network(network, k, strategy="bfs", seed=3)
+        refined = partition_network(network, k, strategy="bfs+refine", seed=3)
+        assert refined.cut_edges <= bfs.cut_edges
+
+    def test_reduces_cut_on_locality_free_ids(self):
+        # Not a theorem on every graph, but on a shuffled G(n, p) the sweep
+        # must find strictly positive-gain moves.
+        network = Network(self._shuffled_gnp(), seed=0)
+        bfs = partition_network(network, 4, strategy="bfs", seed=3)
+        refined = partition_network(network, 4, strategy="bfs+refine", seed=3)
+        assert refined.cut_edges < bfs.cut_edges
+
+    def test_refined_plan_respects_balance_tolerance(self):
+        network = Network(self._shuffled_gnp(n=101), seed=0)
+        plan = partition_network(network, 4, strategy="bfs+refine", seed=1)
+        base_capacity = -(-101 // 4)  # ceil
+        assert max(plan.shard_sizes) <= base_capacity + max(1, base_capacity // 20)
+        assert min(plan.shard_sizes) >= 1
+
+    def test_refine_deterministic(self):
+        graph = self._shuffled_gnp(n=120)
+        plans = [
+            partition_network(Network(graph, seed=2), 4, strategy="bfs+refine", seed=9)
+            for _ in range(2)
+        ]
+        assert plans[0] == plans[1]
+
+
 class _PingAll(Protocol):
     """One broadcast round, then halt — tiny deterministic traffic source."""
 
@@ -245,6 +304,27 @@ class TestShardedEngineKnobs:
         assert result.outputs == {}
         assert result.metrics.rounds == 0
 
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            ShardedEngine(backend="gpu")
+        network = Network(nx.path_graph(4), seed=0)
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            run_protocol(
+                network,
+                _PingAll(),
+                config=CongestConfig().with_sharding(backend="gpu"),
+            )
+
+    def test_serial_backend_forces_serial_despite_workers(self):
+        # backend="serial" must never build a pool even with workers >= 2.
+        engine = ShardedEngine(shards=3, workers=4, backend="serial")
+        network = Network(nx.cycle_graph(12), seed=1)
+        before = {t.name for t in threading.enumerate()}
+        result = run_protocol(network, _PingAll(), engine=engine)
+        after = {t.name for t in threading.enumerate()} - before
+        assert not any(name.startswith("repro-shard") for name in after)
+        assert result.outputs == {v: 2 for v in range(12)}
+
     def test_pool_dispatch_path_is_exercised(self, monkeypatch):
         # POOL_MIN_WORK keeps unit-sized rounds off the pool, so pin it to
         # zero here: every round must go through the chunked pool dispatch
@@ -278,3 +358,211 @@ class TestShardedEngineKnobs:
             results[workers] = self._fingerprint(result)
         assert dispatches["pool"] > 0, "thread mode never reached the pool"
         assert results[3] == results[0]
+
+
+class _CrashInWorker(Protocol):
+    """Hard-kills the process executing the victim node's second round.
+
+    ``os._exit`` bypasses every ``finally`` and pipe flush — the worker
+    disappears exactly as a segfault would, which is the failure mode the
+    coordinator must turn into a clean error instead of a hung barrier.
+    """
+
+    name = "crash-in-worker"
+    quiesce_terminates = True
+
+    def __init__(self, victim: int) -> None:
+        self.victim = victim
+
+    def on_start(self, ctx):
+        ctx.send_all(Message(kind="ping", payload=(ctx.node_id,)))
+
+    def on_round(self, ctx, inbox):
+        if ctx.node_id == self.victim:
+            os._exit(3)
+        ctx.send_all(Message(kind="ping", payload=(ctx.node_id,)))
+
+
+class _OutputIsPid(Protocol):
+    """Records the executing pid per node — proves real multi-processing."""
+
+    name = "output-is-pid"
+    quiesce_terminates = True
+
+    def on_start(self, ctx):
+        ctx.send_all(Message(kind="ping"))
+
+    def on_round(self, ctx, inbox):
+        ctx.write_output(os.getpid())
+        ctx.halt()
+
+
+class _DoubleSend(Protocol):
+    """Violates the one-message-per-edge rule inside a worker process."""
+
+    name = "double-send"
+
+    def on_start(self, ctx):
+        for neighbor in ctx.neighbors[:1]:
+            ctx.send(neighbor, Message(kind="a"))
+            ctx.send(neighbor, Message(kind="b"))
+
+
+class _ChatterForever(Protocol):
+    """Never terminates — trips the coordinator's round cap."""
+
+    name = "chatter"
+
+    def on_start(self, ctx):
+        ctx.send_all(Message(kind="ping"))
+
+    def on_round(self, ctx, inbox):
+        ctx.send_all(Message(kind="ping"))
+
+
+def _assert_no_worker_processes():
+    """The per-execute pool contract: nothing outlives the call."""
+    deadline = time.time() + 5.0
+    while multiprocessing.active_children() and time.time() < deadline:
+        time.sleep(0.05)  # join() already ran; only reaping can lag
+    assert multiprocessing.active_children() == []
+
+
+class TestProcessBackendInfrastructure:
+    """Worker lifecycle, crash handling and stats of the process backend.
+
+    Bit-identity of process-backend *results* lives in the differential
+    suite (``tests/test_engine_equivalence.py::TestProcessBackend``); this
+    class covers the machinery around it: pools must die with the execute
+    call, a crashed worker must surface as a clean error, and the traffic
+    stats must account the packed boundary bytes.
+    """
+
+    def _config(self, shards=3):
+        return CongestConfig().with_sharding(shards=shards, backend="process")
+
+    def test_nodes_really_run_in_worker_processes(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        result = run_protocol(network, _OutputIsPid(), config=self._config(shards=3))
+        pids = set(result.outputs.values())
+        assert os.getpid() not in pids, "protocol callbacks ran in the parent"
+        assert len(pids) == 3, "expected one worker process per shard"
+        _assert_no_worker_processes()
+
+    def test_worker_crash_is_clean_error_not_hang(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        started = time.time()
+        with pytest.raises(ShardWorkerError, match="died without reporting"):
+            run_protocol(
+                network, _CrashInWorker(victim=7), config=self._config(shards=3)
+            )
+        assert time.time() - started < 30.0
+        _assert_no_worker_processes()
+
+    def test_unpicklable_protocol_fails_with_shipping_error(self):
+        class LocalProtocol(_PingAll):  # locally defined: cannot pickle
+            pass
+
+        network = Network(nx.cycle_graph(9), seed=0)
+        with pytest.raises(ShardWorkerError, match="must be picklable"):
+            run_protocol(network, LocalProtocol(), config=self._config(shards=3))
+        _assert_no_worker_processes()
+
+    def test_no_leaked_processes_after_success_and_violations(self):
+        # The registry engine is a shared singleton; pools must be created
+        # per execute and torn down on *every* exit path.
+        network = Network(nx.cycle_graph(12), seed=0)
+        run_protocol(network, _PingAll(), config=self._config())
+        _assert_no_worker_processes()
+        with pytest.raises(CongestionViolation):
+            run_protocol(
+                Network(nx.cycle_graph(12), seed=0),
+                _DoubleSend(),
+                config=self._config(),
+            )
+        _assert_no_worker_processes()
+        with pytest.raises(MessageSizeViolation):
+            run_protocol(
+                Network(nx.cycle_graph(12), seed=0),
+                _PingAll(),
+                config=dataclasses.replace(
+                    self._config(), message_bit_budget=8
+                ),
+            )
+        _assert_no_worker_processes()
+
+    def test_round_limit_exceeded_crosses_cleanly(self):
+        network = Network(nx.cycle_graph(10), seed=0)
+        with pytest.raises(RoundLimitExceeded):
+            run_protocol(
+                network,
+                _ChatterForever(),
+                config=self._config().with_max_rounds(4),
+            )
+        _assert_no_worker_processes()
+
+    def test_violation_types_pickle_roundtrip(self):
+        # The process boundary ships these via pickle; the default
+        # exception reduction would crash on their structured __init__.
+        for exc in (
+            CongestionViolation(3, 4, 7),
+            MessageSizeViolation(1, 2, 99, 32, 5),
+            RoundLimitExceeded(12),
+        ):
+            clone = pickle.loads(pickle.dumps(exc))
+            assert type(clone) is type(exc)
+            assert str(clone) == str(exc)
+            assert clone.__dict__ == exc.__dict__
+
+    def test_stats_report_boundary_bytes_for_process_only(self):
+        results = {}
+        for backend in ("serial", "process"):
+            engine = ShardedEngine(shards=2, backend=backend, collect_stats=True)
+            network = Network(nx.cycle_graph(10), seed=1)
+            result = run_protocol(network, _PingAll(), engine=engine)
+            stats = engine.stats
+            results[backend] = (result, stats)
+            # Cross-shard accounting is backend-independent: 2 cut edges of
+            # the two-arc cycle partition, both directions.
+            assert stats.protocol_messages == result.metrics.total_messages == 20
+            assert stats.cross_shard_messages == 4
+        serial_stats = results["serial"][1]
+        process_stats = results["process"][1]
+        assert serial_stats.boundary_bytes == 0
+        assert serial_stats.bytes_per_round == 0.0
+        assert process_stats.boundary_bytes > 0
+        assert process_stats.barrier_rounds > 0
+        assert process_stats.bytes_per_round > 0.0
+        _assert_no_worker_processes()
+
+    def test_single_nonempty_shard_process_degenerates_to_fast_path(self):
+        # One shard == the whole network in one worker; must equal the
+        # in-process fast path exactly.  (Keep engine keywords of OTHER
+        # backends out of this test's name: CI's matrix selects by -k.)
+        graph = nx.gnp_random_graph(18, 0.3, seed=2)
+        per_node = {v: {KEY_PARTICIPANT: True} for v in graph.nodes()}
+        fingerprints = {}
+        for name, config in (
+            ("fast-path", CongestConfig(engine="batched")),
+            ("process", self._config(shards=1)),
+        ):
+            network = Network(graph, seed=5)
+            result = run_protocol(
+                network,
+                MinIdBFSTreeProtocol(),
+                config=config.with_log_budget(18),
+                per_node_inputs=per_node,
+            )
+            m = result.metrics
+            fingerprints[name] = (
+                result.outputs, m.rounds, m.total_messages, m.total_bits
+            )
+        assert fingerprints["process"] == fingerprints["fast-path"]
+        _assert_no_worker_processes()
+
+    def test_empty_network_process_backend(self):
+        network = Network(nx.Graph(), seed=0)
+        result = run_protocol(network, _PingAll(), config=self._config())
+        assert result.outputs == {}
+        assert result.metrics.rounds == 0
+        _assert_no_worker_processes()
