@@ -27,7 +27,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import tables
-from repro.congest.config import CongestConfig
+from repro.congest.config import SESSION_MODES, CongestConfig
 from repro.congest.engine import available_engines
 from repro.congest.sharding import SHARD_BACKENDS
 from repro.core import near_clique
@@ -104,6 +104,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "shard — true multi-core, boundary traffic in a packed wire "
         "format)",
     )
+    find.add_argument(
+        "--session-mode",
+        choices=SESSION_MODES,
+        default=CongestConfig().session_mode,
+        help="execution-session lifetime across the finder's CONGEST "
+        "phases: 'per-call' (self-contained executes, the default) or "
+        "'persistent' (the sharded process backend keeps one worker pool "
+        "and one shared-memory CSR mapping alive across all phases, "
+        "re-armed between them; bit-identical results, amortised setup — "
+        "session totals are added to the run summary)",
+    )
     find.add_argument("--expected-sample", type=float, default=8.0, help="target E[|S|] = p*n")
     find.add_argument("--max-sample", type=int, default=13, help="Section 4.1 abort threshold on |S|")
     find.add_argument("--repetitions", type=int, default=4, help="boosting repetitions (boosted engine)")
@@ -163,18 +174,27 @@ def _cmd_find(args) -> int:
         shards=args.shards,
         shard_workers=args.shard_workers,
         shard_backend=args.shard_backend,
+        session_mode=args.session_mode,
     ).with_log_budget(max(2, n))
+    session_stats = []
     if args.engine == "distributed":
-        result = DistNearCliqueRunner(
+        runner = DistNearCliqueRunner(
             parameters=parameters, rng=rng, config=congest_config
-        ).run(graph)
+        )
+        result = runner.run(graph)
+        if runner.last_session_stats is not None:
+            session_stats.append(runner.last_session_stats)
     elif args.engine == "boosted":
-        result = BoostedNearCliqueRunner(
+        boosted = BoostedNearCliqueRunner(
             parameters=parameters,
             repetitions=args.repetitions,
             rng=rng,
             congest_config=congest_config,
-        ).run(graph)
+        )
+        result = boosted.run(graph)
+        session_stats.extend(
+            stats for stats in boosted.session_stats_by_version if stats is not None
+        )
     else:
         result = CentralizedNearCliqueFinder(
             graph, args.epsilon, min_output_size=args.min_output_size
@@ -213,7 +233,40 @@ def _cmd_find(args) -> int:
                 ["synchronizer control messages", result.metrics.control_messages]
             )
     tables.print_table(["measure", "value"], summary, title="Run summary")
+    _print_session_report(session_stats)
     return 0
+
+
+def _print_session_report(session_stats) -> None:
+    """Session totals across the sessions a finder opened (persistent mode).
+
+    One row set aggregated over all sessions (the boosted finder opens one
+    per version): phases executed, per-phase setup seconds, packed boundary
+    traffic and the shared-memory mapping size.
+    """
+    session_stats = [stats for stats in session_stats if stats and stats.phases]
+    if not session_stats:
+        return
+    phases = sum(len(stats.phases) for stats in session_stats)
+    setup = sum(stats.setup_seconds for stats in session_stats)
+    boundary = sum(stats.boundary_bytes for stats in session_stats)
+    barriers = sum(stats.barrier_rounds for stats in session_stats)
+    messages = sum(stats.protocol_messages for stats in session_stats)
+    cross = sum(stats.cross_shard_messages for stats in session_stats)
+    rows = [
+        ["sessions", len(session_stats)],
+        ["phases executed", phases],
+        ["setup seconds (total)", round(setup, 4)],
+        ["setup seconds / phase", round(setup / max(1, phases), 4)],
+        ["boundary bytes", boundary],
+        ["barrier rounds", barriers],
+        ["bytes / barrier round", round(boundary / max(1, barriers), 1)],
+        ["cross-shard msg fraction", round(cross / max(1, messages), 3)],
+        ["shm bytes mapped", sum(stats.shm_bytes for stats in session_stats)],
+    ]
+    tables.print_table(
+        ["measure", "value"], rows, title="Execution-session report"
+    )
 
 
 def _cmd_generate(args) -> int:

@@ -59,6 +59,14 @@ This package simulates that model in-process.  The pieces are:
                                          process boundary)
     ==============  ===================  =====================================
 
+``CongestSession`` / ``Engine.open_session``
+    Engine state shared across the ``execute`` calls of a composite
+    pipeline.  The default session is a thin per-call wrapper; with
+    ``CongestConfig.session_mode == "persistent"`` the sharded engine's
+    process backend keeps its worker pool and shared-memory CSR mapping
+    alive for the session, re-arming workers between phases.  Bit-identical
+    either way (the differential suite has a session arm).
+
 ``metrics``
     Round, message, and bit accounting used by the complexity experiments
     (E2, E5, E6 in DESIGN.md), including the async engine's control-message
@@ -71,9 +79,10 @@ This package simulates that model in-process.  The pieces are:
     ``run_protocol(..., engine="async")`` in new code.
 """
 
-from repro.congest.config import CongestConfig
+from repro.congest.config import SESSION_MODES, CongestConfig
 from repro.congest.engine import (
     BatchedEngine,
+    CongestSession,
     Engine,
     ReferenceEngine,
     available_engines,
@@ -105,6 +114,8 @@ from repro.congest.synchronizer import AlphaSynchronizer, AsyncEngine, AsyncRunR
 
 __all__ = [
     "CongestConfig",
+    "CongestSession",
+    "SESSION_MODES",
     "CongestError",
     "CongestionViolation",
     "MessageSizeViolation",

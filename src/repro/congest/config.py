@@ -9,7 +9,24 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
+
+#: Session lifetimes accepted by ``CongestConfig.session_mode``.
+#:
+#: ``"per-call"`` (the default)
+#:     ``Engine.open_session`` returns a thin wrapper that delegates every
+#:     ``execute`` to the engine unchanged — exactly the per-``execute``
+#:     behaviour every engine has always had.
+#: ``"persistent"``
+#:     Engines with per-``execute`` setup worth amortising keep it alive for
+#:     the session's lifetime.  Today that is the sharded engine's
+#:     ``"process"`` backend: one worker pool plus one shared-memory CSR
+#:     mapping serve every ``execute`` of a composite pipeline, re-armed
+#:     between phases instead of respawned (see
+#:     :mod:`repro.congest.sharding.workers`).  Engines without such setup
+#:     treat ``"persistent"`` as ``"per-call"``.  Outputs and protocol
+#:     metrics are bit-identical in either mode, by the engine contract.
+SESSION_MODES: Tuple[str, ...] = ("per-call", "persistent")
 
 
 @dataclass
@@ -87,6 +104,15 @@ class CongestConfig:
             parallelism; requires the protocol object and all per-node
             state to be picklable.  Outputs, round counts and protocol
             metrics remain bit-identical by the engine contract.
+    session_mode:
+        Lifetime of the execution session a composite runner opens over its
+        phases — one of :data:`SESSION_MODES`.  ``"per-call"`` (the
+        default) keeps every ``execute`` self-contained; ``"persistent"``
+        lets the sharded engine's process backend keep its worker pool and
+        shared-memory CSR mapping alive across the phases of one
+        :class:`~repro.congest.engine.CongestSession`, re-arming workers
+        between executes instead of respawning them.  Bit-identical either
+        way; purely a setup-amortisation knob.
     """
 
     max_rounds: Optional[int] = None
@@ -99,6 +125,7 @@ class CongestConfig:
     shard_workers: int = 0
     shard_strategy: str = "contiguous"
     shard_backend: str = "thread"
+    session_mode: str = "per-call"
 
     def with_log_budget(self, n: int) -> "CongestConfig":
         """Return a copy whose message budget is ``budget_multiplier * log2 n``.
@@ -116,6 +143,15 @@ class CongestConfig:
     def with_engine(self, engine: str) -> "CongestConfig":
         """Return a copy that selects a different execution engine."""
         return replace(self, engine=engine)
+
+    def with_session_mode(self, session_mode: str) -> "CongestConfig":
+        """Return a copy that selects a different session lifetime.
+
+        ``session_mode`` must be one of :data:`SESSION_MODES`; the value is
+        validated when a session is opened
+        (:meth:`repro.congest.engine.Engine.open_session`).
+        """
+        return replace(self, session_mode=session_mode)
 
     def with_sharding(
         self,

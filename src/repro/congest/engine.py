@@ -79,6 +79,16 @@ A protocol that overrides ``finished`` with an arbitrary predicate (for
 example "run for exactly T rounds") is executed by the batched engine on a
 compatibility path that re-evaluates the predicate for every node each
 round, exactly like the reference.
+
+**Execution sessions.**  Composite pipelines (the 14-phase
+``DistNearClique`` runner) execute many protocols on one network;
+:meth:`Engine.open_session` returns a :class:`CongestSession` that owns
+whatever engine state is worth keeping alive across those ``execute``
+calls.  The default session is a thin per-call wrapper (bit-identical to
+calling the engine directly); with ``CongestConfig.session_mode ==
+"persistent"`` the sharded engine's process backend keeps its worker pool
+and shared-memory CSR mapping for the session's lifetime and re-arms the
+workers between phases (:mod:`repro.congest.sharding.workers`).
 """
 
 from __future__ import annotations
@@ -86,7 +96,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.congest.config import CongestConfig
+from repro.congest.config import SESSION_MODES, CongestConfig
 from repro.congest.errors import (
     CongestionViolation,
     MessageSizeViolation,
@@ -131,12 +141,102 @@ class RunResult:
     contexts: Dict[int, NodeContext] = field(default_factory=dict)
 
 
+class CongestSession:
+    """Engine-owned execution state shared across ``execute`` calls.
+
+    The paper's algorithm is a *composite* of ~14 pipelined CONGEST phases
+    over one fixed network; an engine whose per-``execute`` setup is
+    expensive (spawning the process backend's worker pool, shipping CSR
+    slices) pays it once per phase unless something owns that setup across
+    the phases.  A session is that owner: open it once per (network,
+    configuration), run every phase through :meth:`execute`, and close it
+    (sessions are context managers) to release whatever the engine kept
+    alive.
+
+    This base class is the **default session**: a thin per-call wrapper
+    that delegates straight to :meth:`Engine.execute`, so the semantics of
+    the ``reference`` / ``batched`` / ``async`` engines are untouched —
+    running a pipeline through a default session is byte-for-byte the
+    per-call behaviour.  Engines with setup worth amortising override
+    :meth:`Engine.open_session` to return a richer session (today:
+    :class:`repro.congest.sharding.workers.ProcessSession`, selected by
+    ``CongestConfig.session_mode == "persistent"`` with the process shard
+    backend).  The engine contract is unchanged in either case: outputs,
+    round counts and protocol metrics are bit-identical to
+    ``ReferenceEngine`` in session mode, enforced by the differential
+    suite's session arm.
+
+    Attributes
+    ----------
+    network / config:
+        The network the session is bound to and the configuration
+        ``execute`` falls back to when none is passed per call.
+    stats:
+        Session-level accounting, or ``None`` when the engine collects
+        none.  Persistent sharded sessions expose a
+        :class:`repro.congest.sharding.ShardingStats` with per-phase
+        partials and session totals.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        network: Network,
+        config: Optional[CongestConfig] = None,
+    ) -> None:
+        self.engine = engine
+        self.network = network
+        self.config = config or CongestConfig()
+        self.stats = None
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        protocol: Protocol,
+        *,
+        config: Optional[CongestConfig] = None,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        reuse_contexts: bool = False,
+    ) -> RunResult:
+        """Run one protocol within the session (same contract as the engine).
+
+        ``config`` defaults to the configuration the session was opened
+        with; per-call overrides are honoured for the model-rule knobs, but
+        a persistent session's structural choices (shard plan, backend) are
+        fixed at open time and a conflicting override raises.
+        """
+        if self.closed:
+            raise ProtocolError("execute on a closed CongestSession")
+        return self.engine.execute(
+            self.network,
+            protocol,
+            config=config if config is not None else self.config,
+            global_inputs=global_inputs,
+            per_node_inputs=per_node_inputs,
+            reuse_contexts=reuse_contexts,
+        )
+
+    def close(self) -> None:
+        """Release session-held resources (idempotent)."""
+        self.closed = True
+
+    def __enter__(self) -> "CongestSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 class Engine:
     """One strategy for executing a protocol to termination.
 
     Engines are stateless: all per-run state lives in local variables of
     :meth:`execute`, so a single engine instance may be shared freely across
-    schedulers and threads.
+    schedulers and threads.  State that must outlive one ``execute`` —
+    worker pools, shared-memory mappings — belongs to a
+    :class:`CongestSession` (see :meth:`open_session`), never to the engine.
     """
 
     #: Registry name (the value of ``CongestConfig.engine`` that selects it).
@@ -152,6 +252,27 @@ class Engine:
         reuse_contexts: bool = False,
     ) -> RunResult:
         raise NotImplementedError
+
+    def open_session(
+        self,
+        network: Network,
+        config: Optional[CongestConfig] = None,
+    ) -> CongestSession:
+        """Open an execution session on *network* under *config*.
+
+        The default implementation returns the thin per-call
+        :class:`CongestSession` regardless of ``config.session_mode`` —
+        engines without per-``execute`` setup have nothing to persist.
+        Engines that do (the sharded engine's process backend) override
+        this and honour ``session_mode == "persistent"``.
+        """
+        config = config or CongestConfig()
+        if config.session_mode not in SESSION_MODES:
+            raise ValueError(
+                "unknown session mode %r; available modes: %s"
+                % (config.session_mode, ", ".join(SESSION_MODES))
+            )
+        return CongestSession(self, network, config)
 
 
 class ReferenceEngine(Engine):

@@ -21,6 +21,7 @@ neighbour tuples handed to contexts are views derived from it.
 from __future__ import annotations
 
 import random
+import zlib
 from array import array
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
@@ -109,8 +110,15 @@ class Network:
         self._indptr = indptr
         self._indices = indices
         self._adjacency = adjacency
+        # Checksum of the CSR arrays as built; together with the live graph
+        # counts this forms the topology fingerprint (csr_fingerprint) that
+        # caches and execution sessions key on.
+        self._csr_crc = zlib.crc32(
+            indices.tobytes(), zlib.crc32(indptr.tobytes())
+        )
         self._rng = random.Random(seed)
         self._contexts: Dict[int, NodeContext] = {}
+        self._ctx_epoch = 0
 
     # ------------------------------------------------------------------
     # topology accessors
@@ -144,6 +152,49 @@ class Network:
         built once per network and shared — callers must not mutate them.
         """
         return self._ids, self._indptr, self._indices
+
+    def csr_fingerprint(self) -> Tuple[int, int, int, int]:
+        """Fingerprint of the topology the CSR arrays were built from.
+
+        ``(nodes, edges, CSR checksum, degree digest)``: counts and the
+        degree digest are read from the live underlying graph while the
+        checksum was taken when the CSR was built, so the fingerprint
+        changes as soon as the visible topology diverges from the frozen
+        adjacency — the staleness signal
+        :func:`repro.congest.sharding.partition.cached_partition` keys its
+        memo on and execution sessions use to detect a network mutated
+        between phases.  The degree digest (an O(n) pass over the live
+        graph) catches count-preserving mutations too — an edge swapped
+        for another, a node replaced — as long as the rewire moves some
+        degree; a mutation that preserves the whole degree sequence is the
+        one residual blind spot (an exact edge hash would cost O(m log m)
+        per ``execute``, which per-phase callers cannot afford).
+        """
+        graph = self._graph
+        degrees = dict(graph.degree())
+        digest = zlib.crc32(
+            array(
+                "q", [degrees.get(node_id, -1) for node_id in self._ids]
+            ).tobytes()
+        )
+        return (
+            len(degrees),
+            graph.number_of_edges(),
+            self._csr_crc,
+            digest,
+        )
+
+    @property
+    def context_epoch(self) -> int:
+        """Counter bumped by every :meth:`build_contexts` call.
+
+        Persistent execution sessions record the epoch after synchronising
+        worker-held context state; a different value at the next ``execute``
+        means the contexts were rebuilt or mutated outside the session
+        (e.g. a direct ``build_contexts`` call between phases), so the
+        session must re-ship state instead of re-arming in place.
+        """
+        return self._ctx_epoch
 
     def neighbors(self, node_id: int) -> Tuple[int, ...]:
         """Adjacent node identifiers of *node_id* (sorted)."""
@@ -184,6 +235,11 @@ class Network:
             are updated — this is how a composite protocol lets later stages
             read the state accumulated by earlier stages.
         """
+        # Bumped before any mutation, not after the last one: a call that
+        # raises mid-way (an unknown id in per_node_inputs) may already
+        # have reset contexts or applied some updates, and a persistent
+        # session must see that as "state possibly diverged" too.
+        self._ctx_epoch += 1
         if fresh or not self._contexts:
             self._contexts = {}
             for node_id in self.node_ids:

@@ -41,6 +41,7 @@ from typing import Any, Dict, Optional, Union
 from repro.congest.config import CongestConfig
 from repro.congest.engine import (
     _STALL_LIMIT,
+    CongestSession,
     Engine,
     RunResult,
     get_engine,
@@ -68,6 +69,13 @@ class SynchronousScheduler:
         ``"batched"``, ``"async"``, ``"sharded"``), an
         :class:`repro.congest.engine.Engine` instance, or ``None`` to use
         ``config.engine``.
+    session:
+        An open :class:`repro.congest.engine.CongestSession` to run inside.
+        Must be bound to the same *network*; when given, the session's
+        engine drives the run (``engine`` is ignored) and per-``execute``
+        setup the session persists — worker pools, shared-memory CSR
+        mappings — is reused instead of rebuilt.  When ``config`` is
+        omitted the session's configuration applies.
     """
 
     def __init__(
@@ -79,18 +87,34 @@ class SynchronousScheduler:
         per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
         reuse_contexts: bool = False,
         engine: Union[None, str, Engine] = None,
+        session: Optional[CongestSession] = None,
     ) -> None:
         self.network = network
         self.protocol = protocol
         self.config = config or CongestConfig()
+        self._config_given = config is not None
         self.global_inputs = global_inputs
         self.per_node_inputs = per_node_inputs
         self.reuse_contexts = reuse_contexts
         self.engine = engine
+        self.session = session
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the protocol to termination and return its result."""
+        if self.session is not None:
+            if self.session.network is not self.network:
+                raise ValueError(
+                    "the scheduler's network is not the network the session "
+                    "was opened on; open one session per network"
+                )
+            return self.session.execute(
+                self.protocol,
+                config=self.config if self._config_given else None,
+                global_inputs=self.global_inputs,
+                per_node_inputs=self.per_node_inputs,
+                reuse_contexts=self.reuse_contexts,
+            )
         engine = get_engine(
             self.engine if self.engine is not None else self.config.engine
         )
@@ -112,6 +136,7 @@ def run_protocol(
     per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
     reuse_contexts: bool = False,
     engine: Union[None, str, Engine] = None,
+    session: Optional[CongestSession] = None,
 ) -> RunResult:
     """Convenience wrapper: build a scheduler and run it once."""
     scheduler = SynchronousScheduler(
@@ -122,5 +147,6 @@ def run_protocol(
         per_node_inputs=per_node_inputs,
         reuse_contexts=reuse_contexts,
         engine=engine,
+        session=session,
     )
     return scheduler.run()

@@ -28,8 +28,15 @@ boundary at the round barrier.  This package provides:
     kinds interned to small integers per channel.
 
 :mod:`repro.congest.sharding.workers`
-    The worker-process side of the ``"process"`` backend and its
-    coordinator.
+    The worker-process side of the ``"process"`` backend, its coordinator,
+    the re-armable worker pool and the persistent ``ProcessSession`` that
+    keeps pool plus shared-memory CSR mapping alive across the phases of a
+    composite pipeline (``CongestConfig.session_mode == "persistent"``).
+
+:mod:`repro.congest.sharding.shm`
+    The shared-memory CSR segment (``SharedCSR``) a session's workers
+    attach to: one mapping of the id/adjacency/owner tables serving every
+    phase, with unlink guaranteed on session close and guarded on crash.
 
 Importing this package registers the engine; the registry in
 :mod:`repro.congest.engine` imports it lazily so ``engine="sharded"`` works
@@ -38,24 +45,32 @@ no matter which module a caller reaches first.
 
 from repro.congest.sharding.engine import (
     SHARD_BACKENDS,
+    SessionPhaseStats,
     ShardedEngine,
     ShardingStats,
 )
 from repro.congest.sharding.partition import (
     PARTITION_STRATEGIES,
     ShardPlan,
+    cached_partition,
+    invalidate_partition_cache,
     partition_network,
 )
+from repro.congest.sharding.shm import SharedCSR
 from repro.congest.sharding.wire import WireBatch, WireDecoder, WireEncoder
 
 __all__ = [
     "PARTITION_STRATEGIES",
     "SHARD_BACKENDS",
+    "SessionPhaseStats",
+    "SharedCSR",
     "ShardPlan",
     "ShardedEngine",
     "ShardingStats",
     "WireBatch",
     "WireDecoder",
     "WireEncoder",
+    "cached_partition",
+    "invalidate_partition_cache",
     "partition_network",
 ]

@@ -75,12 +75,14 @@ from __future__ import annotations
 import operator
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.congest.config import CongestConfig
 from repro.congest.engine import (
     _EMPTY_INBOX,
     _STALL_LIMIT,
+    CongestSession,
     Engine,
     RunResult,
     register_engine,
@@ -220,14 +222,28 @@ class _ShardState:
         return sum(len(indices) for indices, _ in self.remote_from)
 
 
+@dataclass
+class SessionPhaseStats:
+    """One ``execute`` of a session, as the session's stats record it."""
+
+    label: str
+    protocol_messages: int
+    cross_shard_messages: int
+    boundary_bytes: int
+    barrier_rounds: int
+    setup_seconds: float
+
+
 class ShardingStats:
     """Cross-shard traffic accounting for one or more sharded executions.
 
     Populated by :class:`ShardedEngine` when constructed with
     ``collect_stats=True`` (the registry instance does not collect, keeping
-    it stateless); the E14/E15 benchmarks use this to report the cut-edge
-    message fraction per partitioner strategy and the serialized boundary
-    traffic of the process backend.
+    it stateless) and by persistent sessions, which expose an instance as
+    :attr:`repro.congest.engine.CongestSession.stats`; the E14/E15/E16
+    benchmarks use this to report the cut-edge message fraction per
+    partitioner strategy, the serialized boundary traffic of the process
+    backend, and the per-phase setup cost a session amortises.
 
     Attributes
     ----------
@@ -235,6 +251,16 @@ class ShardingStats:
         Packed wire bytes shipped across round barriers and the number of
         barriers that shipped them.  Only the process backend serializes
         boundary traffic, so both stay zero for the in-process backends.
+    setup_seconds:
+        Coordinator-side seconds spent on per-``execute`` setup (worker
+        spawn, arming) summed over the recorded runs — the figure the E16
+        benchmark divides by phases.
+    shm_bytes:
+        Bytes of CSR/owner tables held in the session's shared-memory
+        mapping (zero outside persistent process sessions).
+    phases:
+        Per-``execute`` partials (:class:`SessionPhaseStats`), appended by
+        sessions in phase order; the counters above are the session totals.
     """
 
     def __init__(self) -> None:
@@ -243,7 +269,10 @@ class ShardingStats:
         self.cross_shard_messages = 0
         self.boundary_bytes = 0
         self.barrier_rounds = 0
+        self.setup_seconds = 0.0
+        self.shm_bytes = 0
         self.plans: List[ShardPlan] = []
+        self.phases: List[SessionPhaseStats] = []
 
     @property
     def cross_shard_fraction(self) -> float:
@@ -258,6 +287,40 @@ class ShardingStats:
         if self.barrier_rounds == 0:
             return 0.0
         return self.boundary_bytes / self.barrier_rounds
+
+    @property
+    def setup_seconds_per_phase(self) -> float:
+        """Mean setup seconds per recorded phase (0.0 before any phase)."""
+        if not self.phases:
+            return 0.0
+        return self.setup_seconds / len(self.phases)
+
+    def observe_phase(
+        self,
+        label: str,
+        protocol_messages: int,
+        cross_shard_messages: int,
+        boundary_bytes: int,
+        barrier_rounds: int,
+        setup_seconds: float,
+    ) -> None:
+        """Record one session ``execute`` (partial plus session totals)."""
+        self.runs += 1
+        self.protocol_messages += protocol_messages
+        self.cross_shard_messages += cross_shard_messages
+        self.boundary_bytes += boundary_bytes
+        self.barrier_rounds += barrier_rounds
+        self.setup_seconds += setup_seconds
+        self.phases.append(
+            SessionPhaseStats(
+                label=label,
+                protocol_messages=protocol_messages,
+                cross_shard_messages=cross_shard_messages,
+                boundary_bytes=boundary_bytes,
+                barrier_rounds=barrier_rounds,
+                setup_seconds=setup_seconds,
+            )
+        )
 
 
 class _ShardStepper:
@@ -280,13 +343,21 @@ class _ShardStepper:
         index_of: Dict[int, int],
         owner: Sequence[int],
         ordered_delivery: bool,
+        inbox_buffers: Optional[List[List[Inbound]]] = None,
     ) -> None:
         self.protocol = protocol
         self.ctx_list = ctx_list
         self.index_of = index_of
         self.owner = owner
         self.ordered_delivery = ordered_delivery
-        self.inbox_buffers: List[List[Inbound]] = [[] for _ in ctx_list]
+        # A session worker re-arms a fresh stepper per phase but keeps its
+        # (empty-between-runs) inbox buffers, so passing them in avoids n
+        # list allocations per phase.
+        self.inbox_buffers: List[List[Inbound]] = (
+            inbox_buffers
+            if inbox_buffers is not None
+            else [[] for _ in ctx_list]
+        )
 
         self.enforce = config.enforce_congestion
         budget = config.message_bit_budget
@@ -606,9 +677,11 @@ class _ShardedRun(_ShardStepper):
         return local + remote, remote
 
     #: Packed boundary traffic: the in-process backends never serialize, so
-    #: the stats fields stay zero (contrast ``ProcessShardedRun``).
+    #: the stats fields stay zero (contrast ``ProcessShardedRun``); likewise
+    #: there is no pool to spawn, so setup time is not accounted.
     boundary_bytes = 0
     barrier_rounds = 0
+    setup_seconds = 0.0
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -744,6 +817,31 @@ class ShardedEngine(Engine):
         )
 
     # ------------------------------------------------------------------
+    def resolve_structure(
+        self, config: CongestConfig
+    ) -> Tuple[int, str, str]:
+        """``(shards, strategy, backend)`` for *config* under this instance.
+
+        Instance constructor arguments override the configuration's
+        fields.  This is the single resolution used by :meth:`execute`,
+        :meth:`open_session` and a persistent session's per-call config
+        validation, so the three can never drift.
+        """
+        shards = self.shards if self.shards is not None else config.shards
+        strategy = (
+            self.strategy if self.strategy is not None else config.shard_strategy
+        )
+        backend = self.backend if self.backend is not None else config.shard_backend
+        if backend not in SHARD_BACKENDS:
+            raise ValueError(
+                "unknown shard backend %r; available backends: %s"
+                % (backend, ", ".join(SHARD_BACKENDS))
+            )
+        if shards < 1:
+            raise ValueError("shards must be at least 1, got %r" % (shards,))
+        return shards, strategy, backend
+
+    # ------------------------------------------------------------------
     def execute(
         self,
         network: Network,
@@ -754,17 +852,8 @@ class ShardedEngine(Engine):
         reuse_contexts: bool = False,
     ) -> RunResult:
         config = config or CongestConfig()
-        shards = self.shards if self.shards is not None else config.shards
+        shards, strategy, backend = self.resolve_structure(config)
         workers = self.workers if self.workers is not None else config.shard_workers
-        strategy = (
-            self.strategy if self.strategy is not None else config.shard_strategy
-        )
-        backend = self.backend if self.backend is not None else config.shard_backend
-        if backend not in SHARD_BACKENDS:
-            raise ValueError(
-                "unknown shard backend %r; available backends: %s"
-                % (backend, ", ".join(SHARD_BACKENDS))
-            )
         plan = cached_partition(
             network, shards, strategy=strategy, seed=self.partition_seed
         )
@@ -802,7 +891,43 @@ class ShardedEngine(Engine):
             self.stats.cross_shard_messages += cross
             self.stats.boundary_bytes += run.boundary_bytes
             self.stats.barrier_rounds += run.barrier_rounds
+            self.stats.setup_seconds += run.setup_seconds
         return result
+
+    # ------------------------------------------------------------------
+    def open_session(
+        self,
+        network: Network,
+        config: Optional[CongestConfig] = None,
+    ) -> CongestSession:
+        """Open an execution session on *network*.
+
+        With ``config.session_mode == "persistent"`` and the ``"process"``
+        backend this returns a
+        :class:`repro.congest.sharding.workers.ProcessSession`: one worker
+        pool and one shared-memory CSR mapping serve every ``execute`` of
+        the session, re-armed between phases.  The in-process backends
+        have no per-``execute`` setup worth keeping (the shard plan is
+        already memoised per network), so every other combination returns
+        the default per-call session.
+        """
+        config = config or CongestConfig()
+        shards, strategy, backend = self.resolve_structure(config)
+        if config.session_mode == "persistent" and backend == "process":
+            # Imported lazily: workers.py needs this module's stepper.
+            from repro.congest.sharding.workers import ProcessSession
+
+            return ProcessSession(
+                engine=self,
+                network=network,
+                config=config,
+                shards=shards,
+                strategy=strategy,
+                partition_seed=self.partition_seed,
+            )
+        # Everything else — per-call mode, in-process backends, and any
+        # invalid session mode (validated there) — gets the base session.
+        return super().open_session(network, config)
 
 
 register_engine(ShardedEngine())

@@ -53,7 +53,7 @@ import random
 import weakref
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.congest.network import Network
 
@@ -344,10 +344,18 @@ def partition_network(
     )
 
 
-#: Per-network memo of computed plans.  A network's topology (hence its
-#: CSR arrays) is immutable after construction, and plans are frozen, so
-#: memoisation is safe; keying weakly keeps retired networks collectable.
-_PLAN_CACHE: "weakref.WeakKeyDictionary[Network, Dict[Tuple[int, str, int], ShardPlan]]" = (
+#: Per-network memo of computed plans, stored as ``(fingerprint, plans)``
+#: where the fingerprint is :meth:`repro.congest.network.Network.csr_fingerprint`
+#: at memoisation time.  A network's topology is *supposed* to be immutable
+#: after construction, but the underlying graph object is reachable through
+#: ``Network.graph`` — a caller that mutates it would otherwise keep being
+#: served plans for the old topology from this memo forever.  Keying the
+#: entry by the fingerprint turns that staleness into a recompute (and
+#: execution sessions additionally refuse to continue on a mutated network,
+#: because their worker pools and shared-memory mappings hold the old CSR).
+#: Keying weakly keeps retired networks collectable; plans are frozen, so
+#: sharing them is safe.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[Network, Tuple[Tuple[int, ...], Dict[Tuple[int, str, int], ShardPlan]]]" = (
     weakref.WeakKeyDictionary()
 )
 
@@ -357,16 +365,31 @@ def cached_partition(
     shards: int,
     strategy: str = "contiguous",
     seed: int = 0,
+    fingerprint: Optional[Tuple[int, ...]] = None,
 ) -> ShardPlan:
     """Memoised :func:`partition_network`.
 
     The sharded engine partitions once per protocol execution; a composite
     pipeline (the 14-phase ``DistNearClique`` runner) executes many
-    protocols on one network, so the plan is computed once and reused.
+    protocols on one network, so the plan is computed once and reused.  The
+    memo is keyed by the network's identity *and* its CSR fingerprint: if
+    the visible topology diverges from the one the memo was built for, the
+    stale plans are dropped and the partition is recomputed.  A caller that
+    already holds the current fingerprint (a session opening) may pass it
+    to skip the O(n) recomputation.
+
+    The fingerprint costs one O(n) degree pass per call — deliberately:
+    a cheaper counts-only probe would wave count-preserving mutations (an
+    edge swapped for another) through to the stale plan, which is exactly
+    the staleness class the fingerprint key exists to catch (pinned by
+    ``TestPartitionCacheStaleness``).
     """
-    per_network = _PLAN_CACHE.get(network)
-    if per_network is None:
-        per_network = _PLAN_CACHE[network] = {}
+    if fingerprint is None:
+        fingerprint = network.csr_fingerprint()
+    entry = _PLAN_CACHE.get(network)
+    if entry is None or entry[0] != fingerprint:
+        entry = _PLAN_CACHE[network] = (fingerprint, {})
+    per_network = entry[1]
     key = (shards, strategy, seed)
     plan = per_network.get(key)
     if plan is None:
@@ -374,3 +397,13 @@ def cached_partition(
             network, shards, strategy=strategy, seed=seed
         )
     return plan
+
+
+def invalidate_partition_cache(network: Network) -> None:
+    """Drop every memoised plan for *network*.
+
+    Called by execution sessions when they detect that the network mutated
+    between phases (the CSR fingerprint changed), so no later caller can be
+    served a plan computed for the pre-mutation topology.
+    """
+    _PLAN_CACHE.pop(network, None)

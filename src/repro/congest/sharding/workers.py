@@ -1,23 +1,24 @@
 """Worker processes for the sharded engine's ``"process"`` backend.
 
 One long-lived worker process per non-empty shard: the worker receives its
-shard's contexts, the routing tables and the protocol once at startup, then
-steps its frontier every round, exchanging only *boundary* traffic with the
-coordinator at the round barrier — packed by
-:mod:`repro.congest.sharding.wire` into flat arrays instead of pickled
-per-message objects.  The coordinator (:class:`ProcessShardedRun`) keeps the
-exact round-loop structure of the in-process sharded run: per-shard
+shard's contexts and routing tables once at startup, is *armed* with a
+protocol and configuration, then steps its frontier every round, exchanging
+only *boundary* traffic with the coordinator at the round barrier — packed
+by :mod:`repro.congest.sharding.wire` into flat arrays instead of pickled
+per-message objects.  The coordinator (:class:`ProcessShardedRun`) keeps
+the exact round-loop structure of the in-process sharded run: per-shard
 :class:`repro.congest.metrics.RoundMetrics` partials are folded in ascending
 shard order at the barrier, and termination, quiescence, the stall counter
 and the round cap are evaluated centrally on the aggregated view — so the
 process boundary is invisible to the engine contract (same outputs, same
 round counts, same metrics, same exception types).
 
-Protocol of one run (all traffic over one duplex pipe per worker)::
+Protocol of one execution (all traffic over one duplex pipe per worker)::
 
     coordinator                         worker
     -----------                         ------
-    init payload  ────────────────────▶ build stepper + shard state
+    init payload  ────────────────────▶ build harness (contexts + tables)
+    ("arm", protocol, config, ...) ───▶ build stepper, reset shard state
     ("start",)    ────────────────────▶ on_start + drain owned nodes
                   ◀──────────────────── ("ok", metrics, pending, open, batches)
     ("round", r, batches) ────────────▶ deliver + step + drain
@@ -25,6 +26,29 @@ Protocol of one run (all traffic over one duplex pipe per worker)::
     ...                                 ...
     ("finish", r) ────────────────────▶ collect outputs + context state
                   ◀──────────────────── ("done", outputs, states, traffic)
+    (worker stays; next "arm" starts the next execute, EOF exits)
+
+Worker pools come in two lifetimes.  The default is **per-execute**: the
+pool is spawned and reaped inside one ``execute`` call, as PR 4 shipped it.
+A persistent :class:`ProcessSession` (``CongestConfig.session_mode ==
+"persistent"``) instead keeps one :class:`_WorkerPool` alive across the
+``execute`` calls of a composite pipeline and **re-arms** it between
+phases: the ``("arm", ...)`` command above carries the next protocol, the
+model-rule knobs and the context *deltas* (``_reset_for_new_protocol``
+plus any per-call inputs), so neither processes nor per-node state are
+re-shipped for ``reuse_contexts`` phases.  The session's routing tables
+live in one :mod:`multiprocessing.shared_memory` CSR mapping
+(:mod:`repro.congest.sharding.shm`) attached once per worker.  A fresh
+context build, or any ``build_contexts`` call outside the session
+(detected via :attr:`repro.congest.network.Network.context_epoch`), falls
+back to a pool respawn — under fork that re-ships the contexts by memory
+inheritance, which is exactly the per-execute cost, paid only when state
+actually diverged.  The epoch observes ``build_contexts`` calls, not
+writes: state fed to a session's phases must travel through
+``per_node_inputs`` / ``global_inputs`` or a ``build_contexts`` call (as
+every caller in this package does); poking a live context's ``state``
+dict directly between phases is invisible to any engine-side check and
+unsupported in persistent sessions.
 
 A model-rule violation inside a worker (``CongestionViolation``,
 ``MessageSizeViolation``, ``ProtocolError``...) is pickled back and
@@ -35,10 +59,14 @@ detected at the next ``recv`` (the pipe returns EOF) and surfaces as
 barrier waiting on a corpse; a worker that is alive but stuck in protocol
 code is deliberately *not* timed out, because it is indistinguishable from
 a legitimately slow round (see the ``ShardWorkerError`` docstring).
-Workers are daemonic and context-managed: every exit path of ``run``
-closes the pipes (unblocking any worker still waiting on a command) and
-joins, escalating to ``terminate`` only for processes that ignore the
-EOF, so an ``execute`` call never leaks processes.
+Workers are daemonic and the pools context-managed: closing a pool closes
+the pipes (unblocking any worker still waiting on a command) and joins,
+escalating to ``terminate`` only for processes that ignore the EOF.  The
+teardown guarantee is *per lifetime*: an ``execute`` call never leaks
+per-execute workers, and a session never leaks its pool or its
+shared-memory segment past ``close`` — including violation and
+worker-crash paths, where the session tears the pool down immediately
+rather than waiting for the context exit.
 
 State round trip
 ----------------
@@ -49,37 +77,109 @@ worker ships back the mutable face of each owned context — ``state``,
 coordinator folds it into the parent's context objects in place.  The cost
 of that round trip is one pickle per run, not per round; everything a
 protocol may put in per-node state must therefore be picklable (true for
-every protocol in this package).
+every protocol in this package).  Sessions rely on the fold-back too: it
+keeps the parent contexts authoritative between phases, which is what lets
+a light re-arm ship only deltas.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import os
+import threading
+import time
+import weakref
 from array import array
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.congest.config import CongestConfig
-from repro.congest.engine import RunResult
-from repro.congest.errors import ShardWorkerError
+from repro.congest.engine import CongestSession, RunResult
+from repro.congest.errors import ProtocolError, ShardWorkerError
 from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.network import Network
 from repro.congest.node import NodeContext, Protocol
 from repro.congest.sharding.engine import (
+    ShardingStats,
+    _ShardedRun,
     _ShardState,
     _ShardStepper,
     coordinator_should_stop,
     merge_startup_metrics,
 )
-from repro.congest.sharding.partition import ShardPlan
+from repro.congest.sharding.partition import (
+    ShardPlan,
+    cached_partition,
+    invalidate_partition_cache,
+)
+from repro.congest.sharding.shm import SharedCSR
 from repro.congest.sharding.wire import WireBatch, WireDecoder, WireEncoder
 
-__all__ = ["ProcessShardedRun"]
+__all__ = ["ProcessSession", "ProcessShardedRun"]
 
 #: Seconds a worker gets to exit after its pipe is closed before the pool
 #: escalates to ``terminate``.  Generous: a healthy worker exits on EOF
 #: immediately; only a worker stuck in protocol code ever waits this long.
 _JOIN_TIMEOUT = 5.0
+
+#: Parent-side pipe ends of every live worker of every pool in this
+#: process.  Fork-started children inherit every fd open at fork time —
+#: including the coordinator ends of *other* pools (a concurrent session,
+#: an overlapping per-execute run) — and any child holding such a write
+#: end would defeat that pool's EOF-based teardown (its workers would sit
+#: out the join timeout and be terminated).  Each fork therefore snapshots
+#: this registry and the child closes the whole set first thing.  Entries
+#: are weak references (no GC callbacks — dead entries are pruned under
+#: the lock at the next snapshot): a session abandoned without ``close``
+#: must stay collectable, and collecting its conns closes their fds,
+#: which EOFs its workers — the pre-registry safety net, preserved.
+_LIVE_PARENT_CONNS: "Dict[int, weakref.ref]" = {}
+_LIVE_PARENT_CONNS_LOCK = threading.Lock()
+
+def _reset_after_fork() -> None:  # pragma: no cover - runs in fork children
+    # The spawn path forks while holding the lock; a *different* pool's
+    # fork landing in that window would hand the child a held lock.  No
+    # worker code touches the registry, but reset both anyway so nothing
+    # in a child can ever block on or act through the parent's registry.
+    global _LIVE_PARENT_CONNS_LOCK
+    _LIVE_PARENT_CONNS_LOCK = threading.Lock()
+    _LIVE_PARENT_CONNS.clear()
+
+
+if hasattr(os, "register_at_fork"):  # POSIX; spawn children re-import anyway
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+def _snapshot_parent_conns() -> Tuple:
+    """Live registered conns; prunes dead entries.  Caller holds the lock."""
+    alive = []
+    dead = []
+    for key, ref in _LIVE_PARENT_CONNS.items():
+        conn = ref()
+        if conn is None:
+            dead.append(key)
+        else:
+            alive.append(conn)
+    for key in dead:
+        del _LIVE_PARENT_CONNS[key]
+    return tuple(alive)
+
+
+def _close_and_unregister_parent_conn(conn) -> None:
+    """Atomically retire a coordinator pipe end from the registry.
+
+    Pop and close must happen under one lock hold: unregistering first
+    and closing after releasing would open a window where a concurrent
+    pool's fork snapshots the registry without this conn while its fd is
+    still open — the forked worker would then hold an untracked write end
+    and defeat this pool's EOF-based teardown.
+    """
+    with _LIVE_PARENT_CONNS_LOCK:
+        _LIVE_PARENT_CONNS.pop(id(conn), None)
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
 
 def _mp_context():
@@ -124,30 +224,85 @@ def _unpack_rng_state(packed: Tuple):
 # Worker side
 # ----------------------------------------------------------------------
 class _WorkerHarness:
-    """One shard's round machinery inside its worker process."""
+    """One shard's round machinery inside its worker process.
 
-    def __init__(self, init: Dict[str, Any], protocol: Protocol) -> None:
-        # The stepper is the same class the in-process backends use; only
-        # this shard's slots of the dense context list are populated.
-        ctx_list: List[Optional[NodeContext]] = [None] * init["n"]
+    The harness is built once per worker lifetime from the static init
+    payload (contexts, routing tables — either inline or attached from the
+    session's shared-memory CSR segment) and re-armed per ``execute`` with
+    the protocol and configuration; the inbox buffers and the per-channel
+    wire codecs survive re-arms, so a session phase allocates no per-node
+    structures.
+    """
+
+    def __init__(self, init: Dict[str, Any]) -> None:
+        n = init["n"]
+        shm_name = init.get("shm_name")
+        if shm_name is not None:
+            # Session mode: the id/owner tables live in the shared CSR
+            # mapping; attach once and unpack the hot tables locally.
+            self.shared = SharedCSR.attach(shm_name)
+            self.index_of: Dict[int, int] = self.shared.build_index_of()
+            self.owner: Sequence[int] = list(self.shared.owner)
+        else:
+            self.shared = None
+            self.index_of = init["index_of"]
+            self.owner = init["owner"]
+        ctx_list: List[Optional[NodeContext]] = [None] * n
         for dense_index, ctx in init["contexts"].items():
             ctx_list[dense_index] = ctx
-        self.stepper = _ShardStepper(
-            protocol=protocol,
-            config=init["config"],
-            ctx_list=ctx_list,
-            index_of=init["index_of"],
-            owner=init["owner"],
-            ordered_delivery=init["ordered_delivery"],
-        )
-        self.shard = _ShardState(
-            init["shard_index"], init["owned"], init["n_shards"]
-        )
+        self.ctx_list = ctx_list
+        self.shard_index: int = init["shard_index"]
+        self.owned: Tuple[int, ...] = tuple(init["owned"])
+        self.n_shards: int = init["n_shards"]
+        self.ordered_delivery: bool = init["ordered_delivery"]
+        self.inbox_buffers: List[List] = [[] for _ in ctx_list]
         # One wire channel per (this shard → destination) and per
         # (source → this shard); kind-interning tables stay synchronized
-        # because batches travel and decode in round order.
+        # because batches travel and decode in round order — across every
+        # execute of a session, since encoder and decoder persist together.
         self.encoders: Dict[int, WireEncoder] = {}
         self.decoders: Dict[int, WireDecoder] = {}
+        self.stepper: Optional[_ShardStepper] = None
+        self.shard: Optional[_ShardState] = None
+
+    # ------------------------------------------------------------------
+    def arm(
+        self,
+        protocol: Protocol,
+        config: CongestConfig,
+        reset: bool,
+        global_inputs: Optional[Dict[str, Any]],
+        per_node_state: Optional[Dict[int, Dict[str, Any]]],
+    ) -> None:
+        """Prepare one ``execute``: protocol, knobs, context deltas.
+
+        ``reset=False`` is the arm right after a (re)spawn, when the
+        inherited contexts are already current.  ``reset=True`` is a
+        session's light re-arm: replay exactly what the parent's
+        ``build_contexts(fresh=False)`` did — ``_reset_for_new_protocol``
+        plus the per-call inputs — on the worker-held contexts.
+        """
+        ctx_list = self.ctx_list
+        if reset:
+            for i in self.owned:
+                ctx = ctx_list[i]
+                ctx._reset_for_new_protocol()
+                if global_inputs:
+                    ctx.globals.update(global_inputs)
+            if per_node_state:
+                index_of = self.index_of
+                for node_id, inputs in per_node_state.items():
+                    ctx_list[index_of[node_id]].state.update(inputs)
+        self.stepper = _ShardStepper(
+            protocol=protocol,
+            config=config,
+            ctx_list=ctx_list,
+            index_of=self.index_of,
+            owner=self.owner,
+            ordered_delivery=self.ordered_delivery,
+            inbox_buffers=self.inbox_buffers,
+        )
+        self.shard = _ShardState(self.shard_index, self.owned, self.n_shards)
 
     # ------------------------------------------------------------------
     def _report(self, rm: RoundMetrics) -> Tuple:
@@ -235,33 +390,70 @@ def _send_error(conn, exc: BaseException) -> None:
             pass
 
 
-def _worker_main(conn, init: Dict[str, Any]) -> None:
+def _worker_main(conn, init: Dict[str, Any], inherited_peers=()) -> None:
     """Entry point of one worker process (module-level: spawn-safe).
 
     *init* — the shard's contexts and routing tables — arrives as a process
     argument: free under fork (memory inheritance), pickled by ``start``
-    under spawn.  The protocol object alone still arrives over the pipe, so
-    "process-backend protocols must be picklable" holds on every platform.
+    under spawn.  The protocol object arrives over the pipe with each
+    ``arm``, so "process-backend protocols must be picklable" holds on
+    every platform.  The worker survives ``finish`` — a session re-arms it
+    for the next phase — and exits on EOF (pool teardown) or "abort".
+
+    *inherited_peers* are weak references to the parent-side pipe ends
+    this fork-started child inherited by fd duplication — its own pipe's
+    coordinator end and those of every other live pool at fork time.  They
+    are closed first thing: otherwise the coordinator closing *its* copy
+    would never EOF the worker's ``recv`` (the worker itself would be
+    keeping the write end alive), turning every pool teardown into a
+    join-timeout-and-terminate and leaving crash-orphaned workers blocked
+    forever.  Weak because the tuple also lives in the *parent's*
+    ``Process`` object until the pool is reaped — strong references there
+    would pin an abandoned session's conns and defeat the GC safety net
+    the registry's weak entries exist for.  In the child every target is
+    alive by construction: it was strongly held on the forking thread's
+    stack at fork time, and that stack is part of the child's snapshot.
     """
-    harness: Optional[_WorkerHarness] = None
+    for peer_ref in inherited_peers:
+        peer = peer_ref()
+        if peer is not None:  # pragma: no branch - see docstring
+            peer.close()
     try:
+        try:
+            harness = _WorkerHarness(init)
+        except BaseException as exc:
+            # A failed harness build (shm attach race, corrupt init) must
+            # reach the coordinator as the real exception, not as a bare
+            # "died without reporting" EOF.
+            _send_error(conn, exc)
+            return
         while True:
             try:
                 command = conn.recv()
             except (EOFError, OSError):
                 break  # coordinator went away; nothing left to do
+            except BaseException as exc:
+                # A command that fails to *unpickle* (a protocol whose
+                # import/__setstate__ raises in this process, spawn-mode
+                # module mismatches) must reach the coordinator as the
+                # real exception, not as a bare broken pipe.
+                _send_error(conn, exc)
+                break
             op = command[0]
             try:
-                if op == "init":
-                    harness = _WorkerHarness(init, command[1])
+                if op == "arm":
+                    harness.arm(
+                        command[1], command[2], command[3], command[4], command[5]
+                    )
                     continue  # no response: the coordinator pipelines start
                 if op == "start":
                     response = harness.start()
                 elif op == "round":
                     response = harness.step(command[1], command[2])
                 elif op == "finish":
-                    conn.send(harness.finish(command[1]))
-                    break
+                    # Report and stay armed-able: a session's next execute
+                    # re-arms this same process.
+                    response = harness.finish(command[1])
                 else:  # "abort" or anything unrecognized: exit quietly
                     break
             except BaseException as exc:
@@ -294,14 +486,10 @@ def _reap(handles: List[_WorkerHandle]) -> None:
     exits on the EOF); a worker that ignores the EOF past the join timeout
     is terminated.  ``Process.close`` releases the fds eagerly rather than
     at garbage collection, which keeps ``active_children()`` truthful —
-    the per-execute leak regression in ``tests/test_sharding.py`` relies
-    on it.
+    the leak regressions in ``tests/test_sharding.py`` rely on it.
     """
     for handle in handles:
-        try:
-            handle.conn.close()
-        except OSError:  # pragma: no cover - already closed
-            pass
+        _close_and_unregister_parent_conn(handle.conn)
     for handle in handles:
         handle.process.join(timeout=_JOIN_TIMEOUT)
         if handle.process.is_alive():  # pragma: no cover - stuck worker
@@ -310,23 +498,185 @@ def _reap(handles: List[_WorkerHandle]) -> None:
         handle.process.close()
 
 
-class _WorkerPool:
-    """Context manager owning the worker processes of one execution.
+def _spawn_workers(
+    plan: ShardPlan,
+    ids: Sequence[int],
+    index_of: Dict[int, int],
+    ordered_delivery: bool,
+    contexts: Dict[int, NodeContext],
+    shared_csr: Optional[SharedCSR] = None,
+) -> List[_WorkerHandle]:
+    """Start one worker process per non-empty shard of *plan*.
 
-    Guarantees that no worker outlives the ``execute`` call that spawned
-    it: every exit path runs :func:`_reap`.  The engine registry shares one
-    ``ShardedEngine`` singleton across all callers, so pool lifetime must
-    be bound to the run, never the engine.
+    The shard's contexts always ride as a ``Process`` argument (inherited
+    for free under fork, pickled by ``start`` under spawn).  The routing
+    tables ride inline unless *shared_csr* is given, in which case workers
+    attach to the session's shared-memory mapping by name instead — one
+    mapping serving every spawn and every phase of the session.
+    """
+    context = _mp_context()
+    fork_start = context.get_start_method() == "fork"
+    handles: List[_WorkerHandle] = []
+    init_common: Dict[str, Any] = {
+        "n": len(ids),
+        "n_shards": plan.n_shards,
+        "ordered_delivery": ordered_delivery,
+    }
+    if shared_csr is not None:
+        init_common["shm_name"] = shared_csr.name
+    else:
+        init_common["index_of"] = index_of
+        init_common["owner"] = plan.owner
+    for shard_index, owned in enumerate(plan.shards):
+        if not owned:
+            continue
+        init = dict(init_common)
+        init.update(
+            shard_index=shard_index,
+            owned=owned,
+            contexts={i: contexts[ids[i]] for i in owned},
+        )
+        # Under fork the child inherits every parent-side pipe end open at
+        # fork time — its own, those of earlier siblings, and those of any
+        # *other* live pool in this process (module registry); hand the
+        # full set over so the child can close them, or EOF-based teardown
+        # cannot work (see _worker_main).  Pipe creation, the registry
+        # snapshot, the fork itself and the registration all happen under
+        # the registry lock, so no fork anywhere in the process can
+        # observe a live-but-unregistered coordinator end.  Under spawn no
+        # fds are inherited.
+        start_error: Optional[Exception] = None
+        with _LIVE_PARENT_CONNS_LOCK:
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            # ``live`` keeps the snapshot strongly referenced on this
+            # stack across the fork; the child receives only weak refs
+            # (see _worker_main) so the parent-side Process args cannot
+            # pin another pool's conns.
+            live = _snapshot_parent_conns() + (parent_conn,)
+            inherited_peers = (
+                tuple(weakref.ref(conn) for conn in live)
+                if fork_start
+                else ()
+            )
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, init, inherited_peers),
+                name="repro-shard-%d" % shard_index,
+                daemon=True,
+            )
+            try:
+                process.start()
+            except Exception as exc:  # spawn-mode pickling failures
+                start_error = exc
+            else:
+                _LIVE_PARENT_CONNS[id(parent_conn)] = weakref.ref(parent_conn)
+        if start_error is not None:
+            parent_conn.close()
+            child_conn.close()
+            _reap(handles)
+            raise ShardWorkerError(
+                "failed to ship shard %d to its worker process: %s "
+                "(process-backend per-node state must be picklable)"
+                % (shard_index, start_error)
+            ) from start_error
+        child_conn.close()
+        handles.append(_WorkerHandle(shard_index, process, parent_conn))
+    return handles
+
+
+def _raise_buffered_error(conn, shard_index: int) -> None:
+    """Re-raise an error report a dead worker left in the pipe, if any.
+
+    A worker that fails *between* barriers — harness build, arm — ships
+    the exception and exits; the coordinator only notices at its next
+    ``send`` (broken pipe).  The real error is still buffered on the pipe,
+    and raising it beats a generic "worker died" that hides the cause.
+    Returns silently when nothing useful is buffered.
+    """
+    try:
+        if not conn.poll(0.05):
+            return
+        message = conn.recv()
+    except (EOFError, OSError):
+        return
+    if not message:
+        return
+    if message[0] == "error":
+        raise message[1]
+    if message[0] == "error_text":
+        raise ShardWorkerError(
+            "worker process for shard %d failed with unpicklable %s: %s"
+            % (shard_index, message[1], message[2])
+        )
+
+
+class _WorkerPool:
+    """Owns the worker processes of one execution or one session.
+
+    Two lifetimes share this class.  Used as a context manager it is the
+    per-execute pool PR 4 shipped: every exit path of the ``with`` runs
+    :meth:`close`, so no worker outlives the ``execute`` call that spawned
+    it (the engine registry shares one ``ShardedEngine`` singleton across
+    all callers, so pool lifetime must never attach to the engine).  A
+    persistent session holds the pool directly across executes and calls
+    :meth:`rearm` between phases; the session's own close paths — context
+    exit, violations, worker deaths — call :meth:`close`, which preserves
+    the same teardown guarantee at session scope.
     """
 
     def __init__(self, handles: List[_WorkerHandle]) -> None:
         self.handles = handles
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    def rearm(
+        self,
+        protocol: Protocol,
+        config: CongestConfig,
+        reset: bool = True,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        per_shard_state: Optional[Dict[int, Dict[int, Dict[str, Any]]]] = None,
+    ) -> None:
+        """Arm every worker for the next ``execute``.
+
+        The first arm after a spawn passes ``reset=False`` (the inherited
+        contexts are current); a session's light re-arm passes
+        ``reset=True`` plus the per-call input deltas, routed per shard.
+        A failed ship — an unpicklable protocol, a dead worker — surfaces
+        as :class:`ShardWorkerError`; callers tear the pool down on it.
+        """
+        for handle in self.handles:
+            inputs = (
+                per_shard_state.get(handle.shard_index)
+                if per_shard_state
+                else None
+            )
+            try:
+                handle.conn.send(
+                    ("arm", protocol, config, reset, global_inputs, inputs)
+                )
+            except Exception as exc:
+                if isinstance(exc, (BrokenPipeError, OSError)):
+                    _raise_buffered_error(handle.conn, handle.shard_index)
+                raise ShardWorkerError(
+                    "failed to ship the protocol to the shard %d worker: %s "
+                    "(process-backend protocols and per-node state must be "
+                    "picklable)" % (handle.shard_index, exc)
+                ) from exc
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Reap every worker (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        _reap(self.handles)
 
     def __enter__(self) -> "_WorkerPool":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        _reap(self.handles)
+        self.close()
 
 
 class ProcessShardedRun:
@@ -338,13 +688,22 @@ class ProcessShardedRun:
     shards live in worker processes and boundary buckets cross the barrier
     as packed :class:`repro.congest.sharding.wire.WireBatch` columns.
 
+    By default the run spawns, arms and reaps its own per-execute pool.  A
+    :class:`ProcessSession` passes its persistent (already armed) *pool*
+    instead; the run then only drives the round loop and leaves pool
+    lifetime to the session.
+
     Attributes
     ----------
     boundary_bytes / barrier_rounds:
         Packed boundary traffic shipped over the run and the number of
         barriers (startup plus one per round); feeds
-        :class:`repro.congest.sharding.engine.ShardingStats` and the E15
-        benchmark's bytes-per-round report.
+        :class:`repro.congest.sharding.engine.ShardingStats` and the
+        E15/E16 benchmarks' bytes-per-round reports.
+    setup_seconds:
+        Coordinator-side time spent spawning and arming the per-execute
+        pool (zero when a session supplied the pool — the session accounts
+        its own setup).
     """
 
     def __init__(
@@ -354,12 +713,14 @@ class ProcessShardedRun:
         config: CongestConfig,
         contexts: Dict[int, NodeContext],
         plan: ShardPlan,
+        pool: Optional[_WorkerPool] = None,
     ) -> None:
         self.network = network
         self.protocol = protocol
         self.config = config
         self.contexts = contexts
         self.plan = plan
+        self.pool = pool
         ids, _indptr, _indices = network.csr()
         self.ids = ids
         self.index_of = network.node_index_of
@@ -368,6 +729,7 @@ class ProcessShardedRun:
         self.fast_finished = type(protocol).finished is Protocol.finished
         self.boundary_bytes = 0
         self.barrier_rounds = 0
+        self.setup_seconds = 0.0
         self._traffic: List[Tuple[int, int]] = []
 
     # ------------------------------------------------------------------
@@ -378,63 +740,6 @@ class ProcessShardedRun:
         return local + remote, remote
 
     # ------------------------------------------------------------------
-    def _spawn(self) -> List[_WorkerHandle]:
-        context = _mp_context()
-        handles: List[_WorkerHandle] = []
-        ids = self.ids
-        init_common = {
-            "n": len(ids),
-            "n_shards": self.plan.n_shards,
-            "index_of": self.index_of,
-            "owner": self.plan.owner,
-            "ordered_delivery": self.ordered_delivery,
-            "config": self.config,
-        }
-        for shard_index, owned in enumerate(self.plan.shards):
-            if not owned:
-                continue
-            # The shard's contexts ride as a Process argument: inherited
-            # for free under fork, pickled by start() under spawn.
-            init = dict(init_common)
-            init.update(
-                shard_index=shard_index,
-                owned=owned,
-                contexts={i: self.contexts[ids[i]] for i in owned},
-            )
-            parent_conn, child_conn = context.Pipe(duplex=True)
-            process = context.Process(
-                target=_worker_main,
-                args=(child_conn, init),
-                name="repro-shard-%d" % shard_index,
-                daemon=True,
-            )
-            try:
-                process.start()
-            except Exception as exc:  # spawn-mode pickling failures
-                _reap(handles)
-                raise ShardWorkerError(
-                    "failed to ship shard %d to its worker process: %s "
-                    "(process-backend per-node state must be picklable)"
-                    % (shard_index, exc)
-                ) from exc
-            child_conn.close()
-            handles.append(_WorkerHandle(shard_index, process, parent_conn))
-        return handles
-
-    def _initialize(self, handles: List[_WorkerHandle]) -> None:
-        """Ship each worker the protocol (called inside the pool context, so
-        a failed ship — an unpicklable protocol, a dead worker — still tears
-        every process down)."""
-        for handle in handles:
-            try:
-                handle.conn.send(("init", self.protocol))
-            except Exception as exc:
-                raise ShardWorkerError(
-                    "failed to ship the protocol to the shard %d worker: %s "
-                    "(process-backend protocols and per-node state must be "
-                    "picklable)" % (handle.shard_index, exc)
-                ) from exc
-
     def _send(self, handle: _WorkerHandle, command: Tuple) -> None:
         """Send a command, surfacing a dead worker as the documented error.
 
@@ -447,6 +752,7 @@ class ProcessShardedRun:
         try:
             handle.conn.send(command)
         except (BrokenPipeError, OSError) as exc:
+            _raise_buffered_error(handle.conn, handle.shard_index)
             raise ShardWorkerError(
                 "worker process for shard %d (pid %s) died before %r"
                 % (handle.shard_index, handle.process.pid, command[0])
@@ -521,6 +827,24 @@ class ProcessShardedRun:
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
+        if self.pool is not None:
+            # Session-managed pool: already spawned and armed; lifetime
+            # (including error teardown) belongs to the session.
+            return self._drive(self.pool.handles)
+        started = time.perf_counter()
+        handles = _spawn_workers(
+            self.plan,
+            self.ids,
+            self.index_of,
+            self.ordered_delivery,
+            self.contexts,
+        )
+        with _WorkerPool(handles) as pool:
+            pool.rearm(self.protocol, self.config, reset=False)
+            self.setup_seconds = time.perf_counter() - started
+            return self._drive(pool.handles)
+
+    def _drive(self, handles: List[_WorkerHandle]) -> RunResult:
         # The termination decisions and the round-1 startup-metrics merge
         # are the shared helpers of sharding/engine.py — evaluated here on
         # worker-reported aggregates, in _ShardedRun on local state — so
@@ -529,71 +853,319 @@ class ProcessShardedRun:
         config = self.config
         metrics = RunMetrics()
         rounds = 0
-        with _WorkerPool(self._spawn()) as pool:
-            handles = pool.handles
-            self._initialize(handles)
-            for handle in handles:
-                self._send(handle, ("start",))
-            startup_metrics = RoundMetrics(round_index=0)
-            routed: Dict[int, List[Tuple[int, WireBatch]]] = {}
-            in_flight, open_nodes = self._barrier(
-                handles, startup_metrics, routed
+        for handle in handles:
+            self._send(handle, ("start",))
+        startup_metrics = RoundMetrics(round_index=0)
+        routed: Dict[int, List[Tuple[int, WireBatch]]] = {}
+        in_flight, open_nodes = self._barrier(
+            handles, startup_metrics, routed
+        )
+        startup_metrics.edges_used = 0  # startup edges are not counted
+        startup_metrics.active_nodes = 0
+
+        silent_rounds = 0
+        while True:
+            stop, silent_rounds = coordinator_should_stop(
+                open_nodes == 0,
+                in_flight,
+                rounds,
+                silent_rounds,
+                self.quiesce_ok,
+                config.max_rounds,
+                self.protocol.name,
             )
-            startup_metrics.edges_used = 0  # startup edges are not counted
-            startup_metrics.active_nodes = 0
+            if stop:
+                break
 
-            silent_rounds = 0
-            while True:
-                stop, silent_rounds = coordinator_should_stop(
-                    open_nodes == 0,
-                    in_flight,
-                    rounds,
-                    silent_rounds,
-                    self.quiesce_ok,
-                    config.max_rounds,
-                    self.protocol.name,
-                )
-                if stop:
-                    break
-
-                rounds += 1
-                round_metrics = RoundMetrics(round_index=rounds)
-                if rounds == 1:
-                    merge_startup_metrics(round_metrics, startup_metrics)
-                outgoing, routed = routed, {}
-                for handle in handles:
-                    self._send(
-                        handle,
-                        ("round", rounds, outgoing.get(handle.shard_index, [])),
-                    )
-                in_flight, open_nodes = self._barrier(
-                    handles, round_metrics, routed
-                )
-                metrics.absorb_round(round_metrics, config.record_round_metrics)
-
-            # Harvest: outputs plus the mutable context state, folded back
-            # into the parent's context objects so composite pipelines
-            # (reuse_contexts=True) chain across engines transparently.
-            merged_outputs: Dict[int, Any] = {}
+            rounds += 1
+            round_metrics = RoundMetrics(round_index=rounds)
+            if rounds == 1:
+                merge_startup_metrics(round_metrics, startup_metrics)
+            outgoing, routed = routed, {}
             for handle in handles:
-                self._send(handle, ("finish", rounds))
-            for handle in handles:
-                _op, outputs, states, traffic = self._recv(handle)
-                merged_outputs.update(outputs)
-                self._traffic.append(traffic)
-                for node_id, packed_state in states.items():
-                    state, output, halted, globals_, rng_state = packed_state
-                    ctx = self.contexts[node_id]
-                    ctx.state.clear()
-                    ctx.state.update(state)
-                    ctx.output = output
-                    ctx._halted = halted
-                    ctx._round = rounds
-                    ctx._outgoing = {}
-                    ctx.globals.clear()
-                    ctx.globals.update(globals_)
-                    if rng_state is not None and ctx._rng is not None:
-                        ctx._rng.setstate(_unpack_rng_state(rng_state))
+                self._send(
+                    handle,
+                    ("round", rounds, outgoing.get(handle.shard_index, [])),
+                )
+            in_flight, open_nodes = self._barrier(
+                handles, round_metrics, routed
+            )
+            metrics.absorb_round(round_metrics, config.record_round_metrics)
+
+        # Harvest: outputs plus the mutable context state, folded back
+        # into the parent's context objects so composite pipelines
+        # (reuse_contexts=True) chain across engines transparently.
+        merged_outputs: Dict[int, Any] = {}
+        for handle in handles:
+            self._send(handle, ("finish", rounds))
+        for handle in handles:
+            _op, outputs, states, traffic = self._recv(handle)
+            merged_outputs.update(outputs)
+            self._traffic.append(traffic)
+            for node_id, packed_state in states.items():
+                state, output, halted, globals_, rng_state = packed_state
+                ctx = self.contexts[node_id]
+                ctx.state.clear()
+                ctx.state.update(state)
+                ctx.output = output
+                ctx._halted = halted
+                ctx._round = rounds
+                ctx._outgoing = {}
+                ctx.globals.clear()
+                ctx.globals.update(globals_)
+                if rng_state is not None and ctx._rng is not None:
+                    ctx._rng.setstate(_unpack_rng_state(rng_state))
 
         outputs = {node_id: merged_outputs[node_id] for node_id in self.contexts}
         return RunResult(outputs=outputs, metrics=metrics, contexts=self.contexts)
+
+
+# ----------------------------------------------------------------------
+# Persistent sessions
+# ----------------------------------------------------------------------
+class ProcessSession(CongestSession):
+    """A persistent process-backend session: one pool, one shm CSR mapping.
+
+    Opened by :meth:`repro.congest.sharding.engine.ShardedEngine.open_session`
+    when ``CongestConfig.session_mode == "persistent"`` resolves with the
+    ``"process"`` backend.  The shard plan is fixed at open time; across
+    the session's ``execute`` calls:
+
+    * the worker pool survives and is **re-armed** per phase — for a
+      ``reuse_contexts`` execute only the protocol, the model-rule knobs
+      and the per-call input deltas cross the pipes;
+    * the CSR/owner tables live in one shared-memory segment
+      (:class:`repro.congest.sharding.shm.SharedCSR`) created at first
+      spawn and unlinked at close — on every close path, with atexit and
+      resource-tracker guards for abnormal exits;
+    * a fresh context build, or a ``build_contexts`` call outside the
+      session (detected via
+      :attr:`repro.congest.network.Network.context_epoch`), respawns the
+      pool so worker state never diverges from the parent's — direct
+      writes to a live context's ``state`` dict are the one thing no
+      engine-side check can see (module docstring), so session callers
+      must feed state through inputs or ``build_contexts``;
+    * any error escaping an ``execute`` — model violations, worker deaths —
+      tears the pool down *immediately*; the next ``execute`` (if any)
+      starts a fresh pool, and ``close`` is then a no-op for workers;
+    * a network whose CSR fingerprint changed mid-session invalidates the
+      partition memo and raises, because the plan, the mapping and the
+      worker routing tables all describe the old topology.
+
+    Per-phase partials and session totals (boundary bytes, barrier rounds,
+    setup seconds, shm bytes) are exposed as :attr:`stats`, a
+    :class:`repro.congest.sharding.engine.ShardingStats`.
+    """
+
+    def __init__(
+        self,
+        engine,
+        network: Network,
+        config: CongestConfig,
+        shards: int,
+        strategy: str,
+        partition_seed: int,
+    ) -> None:
+        super().__init__(engine, network, config)
+        self.stats = ShardingStats()
+        self._shards = shards
+        self._strategy = strategy
+        self._partition_seed = partition_seed
+        self._fingerprint = network.csr_fingerprint()
+        self.plan = cached_partition(
+            network,
+            shards,
+            strategy=strategy,
+            seed=partition_seed,
+            fingerprint=self._fingerprint,
+        )
+        self.stats.plans.append(self.plan)
+        ids, _indptr, _indices = network.csr()
+        self._ids = ids
+        self._ordered = _ShardStepper.ranges_are_ordered(self.plan)
+        self._pool: Optional[_WorkerPool] = None
+        self.shared_csr: Optional[SharedCSR] = None
+        #: ``network.context_epoch`` as of the last execute whose fold-back
+        #: synchronised parent and worker context state; ``None`` until the
+        #: first execute completes.
+        self._epoch: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _check_config(self, config: CongestConfig) -> None:
+        """Reject per-call overrides that conflict with the fixed plan."""
+        shards, strategy, backend = self.engine.resolve_structure(config)
+        if (shards, strategy, backend) != (
+            self._shards,
+            self._strategy,
+            "process",
+        ):
+            raise ValueError(
+                "per-call config resolves to %r shards / %r strategy / %r "
+                "backend, but this session was opened with %r / %r / "
+                "'process'; structural knobs are fixed for a session's "
+                "lifetime" % (
+                    shards,
+                    strategy,
+                    backend,
+                    self._shards,
+                    self._strategy,
+                )
+            )
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            pool.close()
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        protocol: Protocol,
+        *,
+        config: Optional[CongestConfig] = None,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        per_node_inputs: Optional[Dict[int, Dict[str, Any]]] = None,
+        reuse_contexts: bool = False,
+    ) -> RunResult:
+        if self.closed:
+            raise ProtocolError("execute on a closed CongestSession")
+        # Fail fast on *every* escaping error — config rejection, a bad
+        # per-node input, model violations, worker deaths: the pool is
+        # torn down here, not deferred to close(), so the teardown
+        # guarantee holds after any failed execute.  The next execute (if
+        # any) respawns.
+        try:
+            return self._execute(
+                protocol,
+                config if config is not None else self.config,
+                global_inputs,
+                per_node_inputs,
+                reuse_contexts,
+            )
+        except BaseException:
+            self._teardown_pool()
+            raise
+
+    def _execute(
+        self,
+        protocol: Protocol,
+        config: CongestConfig,
+        global_inputs: Optional[Dict[str, Any]],
+        per_node_inputs: Optional[Dict[int, Dict[str, Any]]],
+        reuse_contexts: bool,
+    ) -> RunResult:
+        self._check_config(config)
+        network = self.network
+        if network.csr_fingerprint() != self._fingerprint:
+            invalidate_partition_cache(network)
+            raise ProtocolError(
+                "the network mutated during an execution session: its CSR "
+                "fingerprint no longer matches the shard plan the session "
+                "was opened with (the partition memo has been invalidated; "
+                "open a new session on a freshly built Network)"
+            )
+
+        # Contexts mutated outside the session (a direct build_contexts
+        # call between phases) make worker-held state stale; detect via the
+        # epoch and fall back to a respawn, which re-ships them.
+        external = self._epoch is None or network.context_epoch != self._epoch
+        contexts = network.build_contexts(
+            global_inputs=global_inputs,
+            per_node_inputs=per_node_inputs,
+            fresh=not reuse_contexts,
+        )
+
+        if not any(self.plan.shards):
+            # Empty network: nothing to keep a pool for; mirror the
+            # engine's serial fallback.
+            run = _ShardedRun(
+                network=network,
+                protocol=protocol,
+                config=config,
+                contexts=contexts,
+                plan=self.plan,
+                workers=0,
+            )
+            result = run.run()
+            self._epoch = network.context_epoch
+            total, cross = run.traffic_totals()
+            self.stats.observe_phase(protocol.name, total, cross, 0, 0, 0.0)
+            return result
+
+        setup_started = time.perf_counter()
+        if self._pool is None or not reuse_contexts or external:
+            self._teardown_pool()
+            if self.shared_csr is None:
+                self.shared_csr = SharedCSR.create(network, self.plan)
+                self.stats.shm_bytes = self.shared_csr.nbytes
+            handles = _spawn_workers(
+                self.plan,
+                self._ids,
+                network.node_index_of,
+                self._ordered,
+                contexts,
+                shared_csr=self.shared_csr,
+            )
+            self._pool = _WorkerPool(handles)
+            self._pool.rearm(protocol, config, reset=False)
+        else:
+            self._pool.rearm(
+                protocol,
+                config,
+                reset=True,
+                global_inputs=global_inputs,
+                per_shard_state=self._split_inputs(per_node_inputs),
+            )
+        setup_seconds = time.perf_counter() - setup_started
+
+        run = ProcessShardedRun(
+            network=network,
+            protocol=protocol,
+            config=config,
+            contexts=contexts,
+            plan=self.plan,
+            pool=self._pool,
+        )
+        result = run.run()
+        self._epoch = network.context_epoch
+        total, cross = run.traffic_totals()
+        self.stats.observe_phase(
+            protocol.name,
+            total,
+            cross,
+            run.boundary_bytes,
+            run.barrier_rounds,
+            setup_seconds,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def _split_inputs(
+        self, per_node_inputs: Optional[Dict[int, Dict[str, Any]]]
+    ) -> Optional[Dict[int, Dict[int, Dict[str, Any]]]]:
+        """Route per-node inputs to the shard that owns each node.
+
+        Only reached after ``build_contexts`` accepted the same dict, so
+        every id is known here.
+        """
+        if not per_node_inputs:
+            return None
+        index_of = self.network.node_index_of
+        owner = self.plan.owner
+        per_shard: Dict[int, Dict[int, Dict[str, Any]]] = {}
+        for node_id, inputs in per_node_inputs.items():
+            per_shard.setdefault(owner[index_of[node_id]], {})[node_id] = inputs
+        return per_shard
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the pool and unlink the shared mapping (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        try:
+            self._teardown_pool()
+        finally:
+            if self.shared_csr is not None:
+                shared, self.shared_csr = self.shared_csr, None
+                shared.destroy()

@@ -121,17 +121,26 @@ class BoostedNearCliqueRunner:
         self.congest_engine = congest_engine
         #: Optional :class:`repro.congest.config.CongestConfig` for the
         #: "distributed" variant's simulations — the way to reach
-        #: engine-specific knobs such as ``shards`` / ``shard_workers``.
+        #: engine-specific knobs such as ``shards`` / ``shard_workers`` and
+        #: ``session_mode`` (each distributed version runs its ~14 phases
+        #: inside one execution session; ``"persistent"`` amortises the
+        #: process backend's pool/shm setup across them).
         #: ``congest_engine`` (when given) still overrides the
         #: configuration's engine field.
         self.congest_config = congest_config
         self.rng = rng or random.Random()
+        #: Per-version session accounting from the last :meth:`run` —
+        #: one entry per distributed version, each a
+        #: :class:`repro.congest.sharding.ShardingStats` or ``None`` (the
+        #: centralized engine and per-call sessions record nothing).
+        self.session_stats_by_version: List[Optional[object]] = []
 
     # ------------------------------------------------------------------
     def run(self, graph: nx.Graph) -> NearCliqueResult:
         """Execute λ versions plus the combined decision stage."""
         adjacency = near_clique.adjacency_sets(graph)
         metrics = RunMetrics()
+        self.session_stats_by_version = []
         version_candidates: List[_VersionCandidate] = []
         samples: List[FrozenSet[int]] = []
         components: List[FrozenSet[int]] = []
@@ -198,6 +207,7 @@ class BoostedNearCliqueRunner:
                 engine=self.congest_engine,
             )
             result = runner.run(graph)
+            self.session_stats_by_version.append(runner.last_session_stats)
             if result.aborted:
                 return [], result.sample, [], result.metrics
             candidates = [

@@ -26,11 +26,12 @@ argument in executable form.
 from __future__ import annotations
 
 import random
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 import networkx as nx
 
 from repro.congest.config import CongestConfig
+from repro.congest.engine import Engine, get_engine
 from repro.congest.errors import RoundLimitExceeded
 from repro.congest.metrics import RunMetrics
 from repro.congest.network import Network
@@ -69,7 +70,9 @@ class DistNearCliqueRunner:
     engine:
         Execution-engine selector (``"reference"``, ``"batched"``,
         ``"async"`` or ``"sharded"``, see :mod:`repro.congest.engine`)
-        applied on top of *config*.  ``None`` keeps the configuration's
+        applied on top of *config*, or an already-constructed
+        :class:`repro.congest.engine.Engine` instance (how benchmarks pass
+        a stats-collecting engine).  ``None`` keeps the configuration's
         engine (``"batched"`` by default).  All engines produce
         bit-identical outputs and protocol metrics, so this is an
         execution-model / throughput knob; under ``"async"`` every phase
@@ -77,6 +80,17 @@ class DistNearCliqueRunner:
         merged metrics additionally report the control-message overhead,
         and under ``"sharded"`` every phase steps ``config.shards`` graph
         partitions in parallel.
+
+    The runner executes all of its phases inside **one execution session**
+    (:meth:`repro.congest.engine.Engine.open_session`): with the default
+    ``CongestConfig.session_mode == "per-call"`` that is a thin wrapper and
+    nothing changes, while ``"persistent"`` lets the sharded engine's
+    process backend keep one worker pool and one shared-memory CSR mapping
+    across all ~14 phases instead of rebuilding them per phase (the E16
+    benchmark gates the resulting speedup).  After :meth:`run` returns,
+    :attr:`last_session_stats` holds the session's accounting (a
+    :class:`repro.congest.sharding.ShardingStats` with per-phase partials
+    for persistent sharded sessions, ``None`` otherwise).
     """
 
     def __init__(
@@ -91,7 +105,7 @@ class DistNearCliqueRunner:
         step4f_sample_size: int = 32,
         rng: Optional[random.Random] = None,
         config: Optional[CongestConfig] = None,
-        engine: Optional[str] = None,
+        engine: Union[None, str, Engine] = None,
     ) -> None:
         if parameters is None:
             if epsilon is None or sample_probability is None:
@@ -111,6 +125,9 @@ class DistNearCliqueRunner:
         self.rng = rng or random.Random()
         self.config = config
         self.engine = engine
+        #: Accounting of the execution session the last :meth:`run` opened
+        #: (``None`` for engines that collect none — every per-call session).
+        self.last_session_stats = None
 
     # ------------------------------------------------------------------
     def run(
@@ -140,8 +157,12 @@ class DistNearCliqueRunner:
         params = self.parameters
         network = Network(graph, seed=self.rng.getrandbits(48))
         config = self.config or CongestConfig().with_log_budget(network.n)
-        if self.engine is not None:
-            config = config.with_engine(self.engine)
+        if isinstance(self.engine, Engine):
+            engine_obj = self.engine
+        else:
+            if self.engine is not None:
+                config = config.with_engine(self.engine)
+            engine_obj = get_engine(config.engine)
 
         global_inputs = {
             phases.GLOBAL_EPSILON: params.epsilon,
@@ -159,35 +180,69 @@ class DistNearCliqueRunner:
             }
 
         metrics = RunMetrics()
+        self.last_session_stats = None
 
-        # --- sampling stage -------------------------------------------------
-        sampling = phases.SamplingPhase()
-        result = run_protocol(
-            network,
-            sampling,
-            config=config,
-            global_inputs=global_inputs,
-            per_node_inputs=per_node_inputs,
-        )
-        metrics.merge(result.metrics, label=sampling.name)
-        sample_ids = {
-            node_id for node_id, in_sample in result.outputs.items() if in_sample
-        }
+        # One session spans every phase: with the default per-call mode it
+        # is a thin wrapper; in persistent mode the process backend's pool
+        # and shared-memory CSR mapping are built once and re-armed per
+        # phase instead of respawned ~14 times.
+        with engine_obj.open_session(network, config) as session:
+            self.last_session_stats = session.stats
 
-        if (
-            params.max_sample_size is not None
-            and len(sample_ids) > params.max_sample_size
-        ):
-            return self._aborted_result(
+            # --- sampling stage ---------------------------------------------
+            sampling = phases.SamplingPhase()
+            result = run_protocol(
                 network,
-                sample_ids,
-                metrics,
-                "sample size %d exceeds the deterministic bound %d"
-                % (len(sample_ids), params.max_sample_size),
+                sampling,
+                config=config,
+                global_inputs=global_inputs,
+                per_node_inputs=per_node_inputs,
+                session=session,
             )
+            metrics.merge(result.metrics, label=sampling.name)
+            sample_ids = {
+                node_id
+                for node_id, in_sample in result.outputs.items()
+                if in_sample
+            }
 
-        # --- exploration + decision stages ----------------------------------
-        phase_sequence: List[Protocol] = [
+            if (
+                params.max_sample_size is not None
+                and len(sample_ids) > params.max_sample_size
+            ):
+                return self._aborted_result(
+                    network,
+                    sample_ids,
+                    metrics,
+                    "sample size %d exceeds the deterministic bound %d"
+                    % (len(sample_ids), params.max_sample_size),
+                )
+
+            # --- exploration + decision stages ------------------------------
+            phase_sequence = self._phase_sequence()
+
+            try:
+                for phase in phase_sequence:
+                    phase_result = run_protocol(
+                        network,
+                        phase,
+                        config=config,
+                        reuse_contexts=True,
+                        session=session,
+                    )
+                    metrics.merge(phase_result.metrics, label=phase.name)
+            except RoundLimitExceeded as exc:
+                return self._aborted_result(
+                    network, sample_ids, metrics, "round limit exceeded: %s" % exc
+                )
+
+        return self._harvest(network, sample_ids, metrics)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _phase_sequence() -> List[Protocol]:
+        """The exploration + decision stages, in execution order."""
+        return [
             MinIdBFSTreeProtocol(),
             ParentNotificationProtocol(),
             ConvergecastCollectProtocol(),
@@ -222,19 +277,6 @@ class DistNearCliqueRunner:
             phases.VotePhase(),
             phases.FinalLabelPhase(),
         ]
-
-        try:
-            for phase in phase_sequence:
-                phase_result = run_protocol(
-                    network, phase, config=config, reuse_contexts=True
-                )
-                metrics.merge(phase_result.metrics, label=phase.name)
-        except RoundLimitExceeded as exc:
-            return self._aborted_result(
-                network, sample_ids, metrics, "round limit exceeded: %s" % exc
-            )
-
-        return self._harvest(network, sample_ids, metrics)
 
     # ------------------------------------------------------------------
     def _aborted_result(

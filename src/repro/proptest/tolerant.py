@@ -65,8 +65,13 @@ class TolerantNearCliqueTester:
     congest_config:
         Optional :class:`repro.congest.config.CongestConfig` for
         :meth:`find_distributed` — the way to reach engine-specific knobs
-        such as ``shards`` / ``shard_workers``.  ``congest_engine`` (when
-        given) still overrides the configuration's engine field.
+        such as ``shards`` / ``shard_workers`` and ``session_mode``
+        (:meth:`find_distributed` runs the full pipeline inside one
+        execution session, so ``session_mode="persistent"`` amortises the
+        process backend's worker-pool/shared-memory setup across the ~14
+        phases; the session's accounting is exposed afterwards as
+        :attr:`last_session_stats`).  ``congest_engine`` (when given)
+        still overrides the configuration's engine field.
     """
 
     def __init__(
@@ -90,6 +95,10 @@ class TolerantNearCliqueTester:
         self.primary_sample_cap = primary_sample_cap
         self.congest_engine = congest_engine
         self.congest_config = congest_config
+        #: Execution-session accounting of the last :meth:`find_distributed`
+        #: run (``None`` unless the session collected any — see
+        #: :class:`repro.congest.sharding.ShardingStats`).
+        self.last_session_stats = None
 
     @property
     def working_epsilon(self) -> float:
@@ -198,7 +207,9 @@ class TolerantNearCliqueTester:
             config=self.congest_config,
             engine=self.congest_engine,
         )
-        return runner.run(graph)
+        result = runner.run(graph)
+        self.last_session_stats = runner.last_session_stats
+        return result
 
     # ------------------------------------------------------------------
     def test_with_confidence(self, graph: nx.Graph, repetitions: int = 3) -> TolerantVerdict:

@@ -143,6 +143,42 @@ class TestFindCommand:
             reports[name] = capsys.readouterr().out
         assert reports["sharded"] == reports["batched"]
 
+    def test_session_mode_process_backend_report(self, capsys):
+        # Persistent sessions must not change the finder's report (engines
+        # are bit-identical in session mode) and must append the
+        # execution-session totals.
+        reports = {}
+        for name, extra in (
+            ("batched", []),
+            (
+                "session",
+                [
+                    "--congest-engine",
+                    "sharded",
+                    "--shards",
+                    "2",
+                    "--shard-backend",
+                    "process",
+                    "--session-mode",
+                    "persistent",
+                ],
+            ),
+        ):
+            exit_code = cli.main(
+                ["find", "--n", "50", "--expected-sample", "5", "--seed", "9"]
+                + extra
+            )
+            assert exit_code == 0
+            reports[name] = capsys.readouterr().out
+        session_report = reports["session"]
+        assert "Execution-session report" in session_report
+        assert "shm bytes mapped" in session_report
+        assert "setup seconds / phase" in session_report
+        # Everything before the session report matches the batched run.
+        prefix = session_report.split("Execution-session report")[0].rstrip()
+        assert prefix == reports["batched"].rstrip()
+        assert "Execution-session report" not in reports["batched"]
+
     def test_boosted_engine(self, capsys):
         exit_code = cli.main(
             [

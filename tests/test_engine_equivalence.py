@@ -32,7 +32,9 @@ import pytest
 from repro.baselines.shingles import ShinglesProtocol
 from repro.congest.config import CongestConfig
 from repro.congest.engine import ReferenceEngine, available_engines, get_engine
+from repro.congest.message import Message
 from repro.congest.network import Network
+from repro.congest.node import Protocol
 from repro.congest.scheduler import run_protocol
 from repro.core.boosting import BoostedNearCliqueRunner
 from repro.core.dist_near_clique import DistNearCliqueRunner
@@ -465,6 +467,234 @@ class TestProcessBackend:
             )
             fingerprints[name] = _fingerprint(result)
         assert fingerprints["process"] == fingerprints["reference"]
+
+
+#: Backend configurations the session arm runs: every engine family, with
+#: the process backend (the one persistent sessions actually amortise)
+#: carrying "process" in its id so CI's ``-k process`` job includes it.
+SESSION_BACKENDS = [
+    pytest.param("batched", {}, id="batched"),
+    pytest.param("async", {}, id="async"),
+    pytest.param("sharded", {"shards": 3}, id="sharded-serial"),
+    pytest.param(
+        "sharded",
+        {"shards": 2, "shard_backend": "process"},
+        id="process",
+    ),
+]
+
+#: Graph subset for the session pipeline arm (the per-call arm already
+#: sweeps the full pool per engine; this keeps the session arm affordable
+#: while covering sparse, dense, disconnected and planted shapes).
+SESSION_GRAPHS = [
+    pytest.param(graph, id=name)
+    for name, graph in GRAPHS
+    if name in ("complete", "isolates", "gnp-2", "planted")
+]
+
+
+def _run_primitive_suite_session(graph, engine, **config_fields):
+    """The `_run_primitive_suite` chain, through one persistent session.
+
+    Exercises every session transition: fresh executes (pool spawn),
+    ``reuse_contexts`` chains (light re-arm), and a context build *outside*
+    the session (the counters step), which the session must detect via the
+    network's context epoch and answer with a respawn.
+    """
+    network = Network(graph, seed=1234)
+    config = CongestConfig(
+        engine=engine, session_mode="persistent", **config_fields
+    ).with_log_budget(max(2, network.n))
+    per_node = _participants(graph)
+    fingerprints = []
+    with get_engine(engine).open_session(network, config) as session:
+        flood = run_protocol(
+            network,
+            MinIdFloodingProtocol(),
+            config=config,
+            per_node_inputs=per_node,
+            session=session,
+        )
+        fingerprints.append(_fingerprint(flood))
+
+        tree = run_protocol(
+            network,
+            MinIdBFSTreeProtocol(),
+            config=config,
+            per_node_inputs=per_node,
+            session=session,
+        )
+        fingerprints.append(_fingerprint(tree))
+
+        children = run_protocol(
+            network,
+            ParentNotificationProtocol(),
+            config=config,
+            reuse_contexts=True,
+            session=session,
+        )
+        fingerprints.append(_fingerprint(children))
+
+        collected = run_protocol(
+            network,
+            ConvergecastCollectProtocol(),
+            config=config,
+            reuse_contexts=True,
+            session=session,
+        )
+        fingerprints.append(_fingerprint(collected))
+
+        broadcast = run_protocol(
+            network,
+            TreeBroadcastProtocol(input_key=KEY_COLLECTED, output_key="bcast_out"),
+            config=config,
+            reuse_contexts=True,
+            session=session,
+        )
+        fingerprints.append(_fingerprint(broadcast))
+
+        counters = {
+            v: {KEY_LOCAL_COUNTERS: {1: 1, 2: v % 3}} for v in network.node_ids
+        }
+        network.build_contexts(per_node_inputs=counters, fresh=False)
+        sums = run_protocol(
+            network,
+            ConvergecastSumProtocol(),
+            config=config,
+            reuse_contexts=True,
+            session=session,
+        )
+        fingerprints.append(_fingerprint(sums))
+    return fingerprints
+
+
+class _EchoSessionGlobal(Protocol):
+    """Reports a global input — pins re-arm delivery of ``global_inputs``."""
+
+    name = "echo-session-global"
+    quiesce_terminates = True
+
+    def on_start(self, ctx):
+        ctx.send_all(Message(kind="ping"))
+
+    def on_round(self, ctx, inbox):
+        ctx.write_output((ctx.globals.get("session_tag"), len(inbox)))
+        ctx.halt()
+
+
+class TestSessionMode:
+    """The differential session arm: every backend, one persistent session.
+
+    Bit-identity with the reference oracle must hold when a composite
+    chain runs through one :class:`repro.congest.engine.CongestSession`
+    instead of per-call executes — for the thin per-call wrappers
+    trivially, and for the process backend's persistent session across
+    pool reuse, light re-arms and epoch-triggered respawns.  Test ids
+    carry ``session`` (class and parameter ids) so CI's session job
+    selects exactly this arm with ``-k session``.
+    """
+
+    @pytest.mark.parametrize("engine,fields", SESSION_BACKENDS)
+    @pytest.mark.parametrize("graph", SESSION_GRAPHS)
+    def test_primitive_pipeline_identical_in_session(self, graph, engine, fields):
+        reference = _run_primitive_suite(graph, "reference")
+        candidate = _run_primitive_suite_session(graph, engine, **fields)
+        assert candidate == reference, (
+            "engine %r diverged in session mode (%r)" % (engine, fields)
+        )
+
+    @pytest.mark.parametrize("engine,fields", SESSION_BACKENDS)
+    def test_full_runner_identical_in_session(self, engine, fields):
+        graph, _ = generators.planted_near_clique(
+            n=60, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=3
+        )
+        results = {}
+        for name, config in (
+            ("reference", CongestConfig(engine="reference")),
+            (
+                "candidate",
+                CongestConfig(
+                    engine=engine, session_mode="persistent", **fields
+                ),
+            ),
+        ):
+            runner = DistNearCliqueRunner(
+                epsilon=0.25,
+                sample_probability=0.1,
+                rng=random.Random(1003),
+                config=config.with_log_budget(graph.number_of_nodes()),
+            )
+            result = runner.run(graph)
+            results[name] = (
+                result.labels,
+                result.sample,
+                result.metrics.rounds,
+                result.metrics.total_messages,
+                result.metrics.total_bits,
+                _trace(result.metrics),
+            )
+        assert results["candidate"] == results["reference"], (
+            "runner diverged in session mode under %r (%r)" % (engine, fields)
+        )
+
+    def test_session_light_rearm_inputs_identical_process(self):
+        # Inputs passed *through* session.execute on reuse executes travel
+        # the light re-arm path (globals + per-node state deltas over the
+        # pipes); they must land exactly as the reference's build_contexts
+        # applies them.
+        graph = nx.gnp_random_graph(20, 0.25, seed=8)
+        per_node = _participants(graph)
+        inputs = {v: {KEY_LOCAL_COUNTERS: {1: v % 4, 5: 1}} for v in graph.nodes()}
+        results = {}
+        for name in ("reference", "session"):
+            network = Network(graph, seed=55)
+            config = CongestConfig(
+                engine="reference" if name == "reference" else "sharded",
+                shards=3,
+                shard_backend="process",
+                session_mode="persistent",
+            ).with_log_budget(20)
+            with get_engine(config.engine).open_session(network, config) as session:
+                chain = []
+                tree = run_protocol(
+                    network,
+                    MinIdBFSTreeProtocol(),
+                    config=config,
+                    per_node_inputs=per_node,
+                    session=session,
+                )
+                chain.append(_fingerprint(tree))
+                children = run_protocol(
+                    network,
+                    ParentNotificationProtocol(),
+                    config=config,
+                    reuse_contexts=True,
+                    session=session,
+                )
+                chain.append(_fingerprint(children))
+                sums = run_protocol(
+                    network,
+                    ConvergecastSumProtocol(),
+                    config=config,
+                    reuse_contexts=True,
+                    per_node_inputs=inputs,
+                    session=session,
+                )
+                chain.append(_fingerprint(sums))
+                echoed = run_protocol(
+                    network,
+                    _EchoSessionGlobal(),
+                    config=config,
+                    reuse_contexts=True,
+                    global_inputs={"session_tag": 41},
+                    session=session,
+                )
+                chain.append(_fingerprint(echoed))
+            results[name] = chain
+        assert results["session"] == results["reference"]
+        assert all(
+            value[0] == 41 for value in echoed.outputs.values()
+        ), "global input did not reach the re-armed workers"
 
 
 class TestAsyncControlOverhead:

@@ -16,6 +16,8 @@ import multiprocessing
 import os
 import pickle
 import random
+import subprocess
+import sys
 import threading
 import time
 
@@ -23,9 +25,11 @@ import networkx as nx
 import pytest
 
 from repro.congest.config import CongestConfig
+from repro.congest.engine import CongestSession, get_engine
 from repro.congest.errors import (
     CongestionViolation,
     MessageSizeViolation,
+    ProtocolError,
     RoundLimitExceeded,
     ShardWorkerError,
 )
@@ -36,8 +40,11 @@ from repro.congest.scheduler import run_protocol
 from repro.congest.sharding import (
     PARTITION_STRATEGIES,
     SHARD_BACKENDS,
+    SharedCSR,
     ShardPlan,
     ShardedEngine,
+    cached_partition,
+    invalidate_partition_cache,
     partition_network,
 )
 from repro.primitives.bfs_tree import KEY_PARTICIPANT, MinIdBFSTreeProtocol
@@ -566,3 +573,426 @@ class TestProcessBackendInfrastructure:
         assert result.outputs == {}
         assert result.metrics.rounds == 0
         _assert_no_worker_processes()
+
+
+class TestPartitionCacheStaleness:
+    """``cached_partition`` keyed by (network identity, CSR fingerprint)."""
+
+    def test_memo_hit_on_unchanged_network(self):
+        network = Network(nx.cycle_graph(10), seed=0)
+        first = cached_partition(network, 2)
+        assert cached_partition(network, 2) is first
+
+    def test_mutated_network_is_not_served_the_stale_plan(self):
+        # Regression: Network.graph exposes the live underlying graph; a
+        # caller mutating it used to keep receiving plans memoised for the
+        # pre-mutation topology forever.  The fingerprint key must turn
+        # that into a recompute.
+        network = Network(nx.cycle_graph(10), seed=0)
+        stale = cached_partition(network, 2)
+        network.graph.add_edge(0, 5)
+        fresh = cached_partition(network, 2)
+        assert fresh is not stale
+        # ... and the new entry is served consistently afterwards.
+        assert cached_partition(network, 2) is fresh
+
+    def test_fingerprint_tracks_graph_counts(self):
+        network = Network(nx.path_graph(6), seed=0)
+        before = network.csr_fingerprint()
+        assert network.csr_fingerprint() == before
+        network.graph.add_edge(0, 4)
+        assert network.csr_fingerprint() != before
+
+    def test_count_preserving_mutation_is_detected(self):
+        # An edge swapped for another keeps node and edge counts; the
+        # degree digest must still move, or cached_partition would keep
+        # serving the stale plan and sessions would keep running on it.
+        network = Network(nx.cycle_graph(10), seed=0)
+        before = network.csr_fingerprint()
+        stale = cached_partition(network, 2)
+        network.graph.remove_edge(0, 1)
+        network.graph.add_edge(0, 5)
+        assert network.graph.number_of_edges() == 10  # counts preserved
+        assert network.csr_fingerprint() != before
+        assert cached_partition(network, 2) is not stale
+
+    def test_session_count_preserving_mutation_raises(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            session.execute(_PingAll())
+            network.graph.remove_edge(0, 1)
+            network.graph.add_edge(0, 6)
+            with pytest.raises(ProtocolError, match="mutated"):
+                session.execute(_PingAll(), reuse_contexts=True)
+        _assert_no_worker_processes()
+
+    def test_invalidate_drops_the_memo(self):
+        network = Network(nx.cycle_graph(8), seed=0)
+        first = cached_partition(network, 2)
+        invalidate_partition_cache(network)
+        assert cached_partition(network, 2) is not first
+
+
+#: Preamble of the shm-lifecycle subprocess tests: opens a persistent
+#: process session, runs one phase, and prints the segment name; each test
+#: appends its own exit behaviour.
+_SESSION_SCRIPT_PREAMBLE = r"""
+import os
+import networkx as nx
+from repro.congest.config import CongestConfig
+from repro.congest.engine import get_engine
+from repro.congest.network import Network
+from repro.congest.message import Message
+from repro.congest.node import Protocol
+
+class Ping(Protocol):
+    name = "ping"
+    quiesce_terminates = True
+    def on_start(self, ctx):
+        ctx.send_all(Message(kind="ping"))
+    def on_round(self, ctx, inbox):
+        ctx.halt()
+
+network = Network(nx.cycle_graph(9), seed=0)
+config = CongestConfig(session_mode="persistent").with_sharding(
+    shards=3, backend="process"
+)
+session = get_engine("sharded").open_session(network, config)
+session.execute(Ping())
+print(session.shared_csr.name, flush=True)
+"""
+
+
+def _run_session_subprocess(tail: str) -> "subprocess.CompletedProcess":
+    """Run the session preamble plus *tail* in a fresh interpreter."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in ("src", env.get("PYTHONPATH")) if part
+    )
+    return subprocess.run(
+        [sys.executable, "-c", _SESSION_SCRIPT_PREAMBLE + tail],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=60,
+    )
+
+
+def _persistent_config(shards=3, **fields):
+    return CongestConfig(session_mode="persistent", **fields).with_sharding(
+        shards=shards, backend="process"
+    )
+
+
+def _open_process_session(network, shards=3, **fields):
+    config = _persistent_config(shards=shards, **fields)
+    return get_engine("sharded").open_session(network, config), config
+
+
+class TestExecutionSessions:
+    """Persistent process sessions: pool reuse, re-arm, teardown, shm.
+
+    Bit-identity of session-mode *results* lives in the differential
+    suite (``tests/test_engine_equivalence.py::TestSessionMode``); this
+    class covers the machinery: the pool must survive ``reuse_contexts``
+    executes and die with the session (or earlier, on errors), and the
+    shared-memory segment must be unlinked on every exit path, including
+    abnormal ones.  Test names carry ``session`` so CI's session job
+    selects them alongside the differential arm.
+    """
+
+    def test_session_pool_survives_reuse_executes(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            first = set(session.execute(_OutputIsPid()).outputs.values())
+            second = set(
+                session.execute(
+                    _OutputIsPid(), reuse_contexts=True
+                ).outputs.values()
+            )
+            assert os.getpid() not in first
+            assert len(first) == 3
+            assert first == second, "pool did not survive the execute boundary"
+        _assert_no_worker_processes()
+
+    def test_session_respawns_on_fresh_contexts(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            first = set(session.execute(_OutputIsPid()).outputs.values())
+            # reuse_contexts=False rebuilds contexts -> worker state would
+            # be stale -> the session must respawn, not re-arm.
+            second = set(session.execute(_OutputIsPid()).outputs.values())
+            assert first.isdisjoint(second)
+        _assert_no_worker_processes()
+
+    def test_session_respawns_on_external_context_build(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            first = set(session.execute(_OutputIsPid()).outputs.values())
+            # A context build *outside* the session bumps the epoch; the
+            # next reuse execute must respawn instead of trusting stale
+            # worker state.
+            network.build_contexts(fresh=False)
+            second = set(
+                session.execute(
+                    _OutputIsPid(), reuse_contexts=True
+                ).outputs.values()
+            )
+            assert first.isdisjoint(second)
+        _assert_no_worker_processes()
+
+    def test_session_respawns_after_failed_external_build(self):
+        # A build_contexts call that raises mid-way may already have reset
+        # contexts or applied some per-node updates; the epoch must record
+        # the attempt so the session respawns instead of light re-arming
+        # on divergent worker state.
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            first = set(session.execute(_OutputIsPid()).outputs.values())
+            with pytest.raises(ProtocolError, match="unknown node id"):
+                network.build_contexts(
+                    per_node_inputs={0: {"x": 1}, 999: {"x": 1}}, fresh=False
+                )
+            second = set(
+                session.execute(
+                    _OutputIsPid(), reuse_contexts=True
+                ).outputs.values()
+            )
+            assert first.isdisjoint(second)
+        _assert_no_worker_processes()
+
+    def test_session_teardown_after_context_exit(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            session.execute(_PingAll())
+            shm_name = session.shared_csr.name
+            assert SharedCSR.attach(shm_name).n == 12  # linked while open
+        _assert_no_worker_processes()
+        with pytest.raises(FileNotFoundError):
+            SharedCSR.attach(shm_name)
+        # close is idempotent
+        session.close()
+        with pytest.raises(ProtocolError, match="closed"):
+            session.execute(_PingAll())
+
+    def test_session_pre_run_error_tears_pool_down(self):
+        # The fail-fast teardown covers errors raised *before* the round
+        # loop too (bad per-node inputs, rejected configs), not just model
+        # violations and worker deaths.
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            session.execute(_PingAll())
+            with pytest.raises(ProtocolError, match="unknown node id"):
+                session.execute(
+                    _PingAll(),
+                    reuse_contexts=True,
+                    per_node_inputs={999: {"x": 1}},
+                )
+            _assert_no_worker_processes()
+            result = session.execute(_PingAll())  # respawns and recovers
+            assert result.outputs == {v: 2 for v in range(12)}
+        _assert_no_worker_processes()
+
+    def test_session_violation_tears_pool_down_then_recovers(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            with pytest.raises(CongestionViolation):
+                session.execute(_DoubleSend())
+            # Fail-fast teardown: no waiting for the context exit.
+            _assert_no_worker_processes()
+            # The session remains usable: the next execute respawns.
+            result = session.execute(_PingAll())
+            assert result.outputs == {v: 2 for v in range(12)}
+        _assert_no_worker_processes()
+
+    def test_session_worker_crash_is_clean_error(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, _config = _open_process_session(network)
+        started = time.time()
+        with session:
+            with pytest.raises(ShardWorkerError, match="died"):
+                session.execute(_CrashInWorker(victim=7))
+            _assert_no_worker_processes()
+        assert time.time() - started < 30.0
+        _assert_no_worker_processes()
+
+    def test_session_shm_unlinked_on_abnormal_exit(self):
+        # A creator killed with os._exit skips every finally/atexit; the
+        # segment must still disappear (the resource tracker's job).
+        proc = _run_session_subprocess("os._exit(1)\n")
+        shm_name = proc.stdout.strip().splitlines()[-1]
+        assert shm_name, "creator did not report its segment: %s" % proc.stderr
+        deadline = time.time() + 15.0
+        while time.time() < deadline:
+            try:
+                SharedCSR.attach(shm_name)
+            except FileNotFoundError:
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail(
+                "segment %s survived the creator's abnormal exit" % shm_name
+            )
+
+    def test_session_shm_unlinked_when_abandoned_without_close(self):
+        # A session abandoned without close() on a *normal* interpreter
+        # exit is the atexit hook's job: the segment must be unlinked by
+        # the hook itself (views released first), not rescued by the
+        # resource tracker's leak warning.
+        proc = _run_session_subprocess(
+            "# no session.close(): exit normally, atexit cleans up\n"
+        )
+        assert proc.returncode == 0, proc.stderr
+        shm_name = proc.stdout.strip().splitlines()[-1]
+        assert "leaked shared_memory" not in proc.stderr, (
+            "segment fell through to the resource tracker: %s" % proc.stderr
+        )
+        with pytest.raises(FileNotFoundError):
+            SharedCSR.attach(shm_name)
+
+    def test_session_network_mutation_raises_and_invalidates(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        stale_plan = cached_partition(network, 3)
+        session, _config = _open_process_session(network)
+        with session:
+            session.execute(_PingAll())
+            network.graph.add_edge(0, 6)
+            with pytest.raises(ProtocolError, match="mutated"):
+                session.execute(_PingAll(), reuse_contexts=True)
+            _assert_no_worker_processes()
+        # The memo was invalidated: nobody can be served the stale plan.
+        assert cached_partition(network, 3) is not stale_plan
+        _assert_no_worker_processes()
+
+    def test_session_structural_override_rejected(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, config = _open_process_session(network, shards=3)
+        with session:
+            conflicting = dataclasses.replace(config, shards=2)
+            with pytest.raises(ValueError, match="fixed for a session"):
+                session.execute(_PingAll(), config=conflicting)
+        _assert_no_worker_processes()
+
+    def test_session_stats_phase_partials_and_totals(self):
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, _config = _open_process_session(network, shards=2)
+        with session:
+            session.execute(_PingAll())
+            session.execute(_PingAll(), reuse_contexts=True)
+            stats = session.stats
+        assert [phase.label for phase in stats.phases] == ["ping-all", "ping-all"]
+        assert stats.runs == 2
+        assert stats.protocol_messages == sum(
+            phase.protocol_messages for phase in stats.phases
+        ) == 48
+        assert stats.cross_shard_messages == 8  # 2 cut edges x 2 dirs x 2 runs
+        assert stats.boundary_bytes > 0
+        assert stats.barrier_rounds == sum(
+            phase.barrier_rounds for phase in stats.phases
+        ) > 0
+        assert stats.setup_seconds == pytest.approx(
+            sum(phase.setup_seconds for phase in stats.phases)
+        )
+        assert stats.setup_seconds_per_phase > 0.0
+        assert stats.shm_bytes > 0
+        _assert_no_worker_processes()
+
+    def test_session_overlapping_pools_close_fast(self):
+        # Regression: a pool forked while another pool is alive must not
+        # inherit (and keep open) that pool's coordinator pipe ends —
+        # otherwise closing the first pool can't EOF its workers and the
+        # reap burns the 5 s join timeout per worker before terminating
+        # healthy processes.
+        network_a = Network(nx.cycle_graph(12), seed=0)
+        network_b = Network(nx.cycle_graph(12), seed=1)
+        session_a, _config = _open_process_session(network_a)
+        session_b, _config = _open_process_session(network_b)
+        with session_b:
+            session_a.execute(_OutputIsPid())
+            session_b.execute(_OutputIsPid())
+            started = time.time()
+            session_a.close()
+            elapsed = time.time() - started
+            assert elapsed < 4.0, (
+                "closing a pool while another is live took %.1fs — its "
+                "workers did not exit on EOF" % elapsed
+            )
+            # B is untouched: same pids keep serving.
+            still = set(
+                session_b.execute(
+                    _OutputIsPid(), reuse_contexts=True
+                ).outputs.values()
+            )
+            assert len(still) == 3
+        _assert_no_worker_processes()
+
+    def test_session_worker_harness_failure_reports_real_error(self, monkeypatch):
+        # A worker that fails while *building* its harness (e.g. an shm
+        # attach race) must ship the actual exception back, not die into a
+        # generic "died without reporting".  Fork inherits the patch.
+        from repro.congest.sharding import workers as workers_module
+
+        def broken_init(self, init):
+            raise RuntimeError("harness build exploded")
+
+        monkeypatch.setattr(
+            workers_module._WorkerHarness, "__init__", broken_init
+        )
+        network = Network(nx.cycle_graph(9), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            with pytest.raises(RuntimeError, match="harness build exploded"):
+                session.execute(_PingAll())
+        _assert_no_worker_processes()
+
+    def test_session_mode_validation(self):
+        network = Network(nx.cycle_graph(6), seed=0)
+        with pytest.raises(ValueError, match="unknown session mode"):
+            get_engine("batched").open_session(
+                network, CongestConfig(session_mode="bogus")
+            )
+        with pytest.raises(ValueError, match="unknown session mode"):
+            get_engine("sharded").open_session(
+                network, CongestConfig(session_mode="bogus")
+            )
+        assert (
+            CongestConfig().with_session_mode("persistent").session_mode
+            == "persistent"
+        )
+
+    def test_session_default_is_thin_wrapper(self):
+        # Engines without per-execute setup return the base session even in
+        # persistent mode; the sharded in-process backends likewise.
+        network = Network(nx.cycle_graph(6), seed=0)
+        thin = get_engine("batched").open_session(
+            network, CongestConfig(session_mode="persistent")
+        )
+        assert type(thin) is CongestSession
+        assert thin.stats is None
+        serial = get_engine("sharded").open_session(
+            network,
+            CongestConfig(session_mode="persistent").with_sharding(
+                shards=2, backend="serial"
+            ),
+        )
+        assert type(serial) is CongestSession
+        with thin:
+            result = thin.execute(_PingAll())
+        assert result.outputs == {v: 2 for v in range(6)}
+        with pytest.raises(ProtocolError, match="closed"):
+            thin.execute(_PingAll())
+
+    def test_session_scheduler_rejects_foreign_network(self):
+        network = Network(nx.cycle_graph(6), seed=0)
+        other = Network(nx.cycle_graph(6), seed=0)
+        with get_engine("batched").open_session(network, CongestConfig()) as session:
+            with pytest.raises(ValueError, match="session"):
+                run_protocol(other, _PingAll(), session=session)
