@@ -79,7 +79,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "(bit-identical results; 'batched' is the fast path and the default, "
         "'reference' the semantics oracle, 'async' runs over asynchronous "
         "links behind an alpha synchronizer, 'sharded' steps graph "
-        "partitions in parallel — see --shards/--shard-workers)",
+        "partitions in parallel — see --shards/--shard-workers, "
+        "'vectorized' runs kernel-covered phases as whole-phase numpy "
+        "array operations and falls back to batched elsewhere)",
     )
     find.add_argument(
         "--shards",

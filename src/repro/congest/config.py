@@ -127,6 +127,20 @@ class CongestConfig:
     shard_backend: str = "thread"
     session_mode: str = "per-call"
 
+    def __post_init__(self) -> None:
+        # ``engine`` / ``shard_backend`` / ``shard_strategy`` are validated
+        # with their allowed values listed when they are resolved (the
+        # registry lookup, ``ShardedEngine.resolve_structure``); the session
+        # mode used to be checked only when a session was opened, which let
+        # a typo survive until deep inside a composite run.  Fail at
+        # construction instead — ``dataclasses.replace`` re-runs this, so
+        # every ``with_*`` derivation is covered too.
+        if self.session_mode not in SESSION_MODES:
+            raise ValueError(
+                "unknown session mode %r; available modes: %s"
+                % (self.session_mode, ", ".join(SESSION_MODES))
+            )
+
     def with_log_budget(self, n: int) -> "CongestConfig":
         """Return a copy whose message budget is ``budget_multiplier * log2 n``.
 
@@ -147,9 +161,10 @@ class CongestConfig:
     def with_session_mode(self, session_mode: str) -> "CongestConfig":
         """Return a copy that selects a different session lifetime.
 
-        ``session_mode`` must be one of :data:`SESSION_MODES`; the value is
-        validated when a session is opened
-        (:meth:`repro.congest.engine.Engine.open_session`).
+        ``session_mode`` must be one of :data:`SESSION_MODES`; anything else
+        raises ``ValueError`` here (via dataclass construction), listing the
+        allowed values, so typos fail fast instead of surfacing when a
+        session is eventually opened.
         """
         return replace(self, session_mode=session_mode)
 

@@ -3,7 +3,7 @@
 The round loop that drives a :class:`repro.congest.node.Protocol` over a
 :class:`repro.congest.network.Network` is factored out of the scheduler into
 an :class:`Engine` so that alternative executions (batched, sharded, async
-backends) can be plugged in without touching protocol code.  Four engines
+backends) can be plugged in without touching protocol code.  Five engines
 ship today:
 
 ``ReferenceEngine`` (``engine="reference"``)
@@ -48,6 +48,16 @@ ship today:
     runs), a thread pool (``CongestConfig.shard_workers``), or one worker
     process per shard — true multi-core execution with boundary traffic in
     the packed wire format of :mod:`repro.congest.sharding.wire`.
+
+``VectorizedEngine`` (``engine="vectorized"``, defined in
+:mod:`repro.congest.vectorized`)
+    Columnar gather/apply/scatter execution of *regular* phases: a protocol
+    that declares a :class:`~repro.congest.vectorized.VectorizedKernel`
+    (via :meth:`Protocol.vectorized_kernel`) runs as array operations over
+    packed per-node registers and a closed-form broadcast schedule instead
+    of per-node callbacks; protocols without a kernel fall back to the
+    batched path unchanged.  Requires numpy for the kernel fast paths
+    (degrades to ``batched`` wholesale without it).
 
 **The reference-vs-fast-path contract.**  For every protocol, graph, seed
 and configuration, every non-reference engine must produce bit-identical
@@ -617,11 +627,13 @@ def register_engine(engine: Engine) -> None:
 
 
 def _ensure_builtin_engines() -> None:
-    # AsyncEngine and ShardedEngine live in modules that import this one, so
-    # a top-level import here would be circular; importing them lazily makes
-    # the registry complete no matter which module the caller reached first.
+    # AsyncEngine, ShardedEngine and VectorizedEngine live in modules that
+    # import this one, so a top-level import here would be circular;
+    # importing them lazily makes the registry complete no matter which
+    # module the caller reached first.
     import repro.congest.sharding  # noqa: F401
     import repro.congest.synchronizer  # noqa: F401
+    import repro.congest.vectorized  # noqa: F401
 
 
 def available_engines() -> Tuple[str, ...]:

@@ -242,6 +242,28 @@ class Protocol:
         """
         return ctx.halted
 
+    def vectorized_kernel(self) -> Optional[Any]:
+        """Columnar execution plan for this protocol, or ``None``.
+
+        A protocol whose per-round behaviour is *regular* — every node runs
+        the same closed-form gather/apply/scatter recipe — may return a
+        :class:`repro.congest.vectorized.VectorizedKernel` here.  The
+        ``vectorized`` engine then executes the whole phase as array
+        operations over packed per-node registers instead of dispatching
+        ``on_start`` / ``on_round`` once per node per round, and holds the
+        result to the engine contract: outputs, per-node state, round count
+        and message/bit metrics (including the per-round trace) must be
+        bit-identical to what the callbacks would have produced — the
+        callbacks above remain the executable semantics, enforced by the
+        differential suite.
+
+        The default is ``None``: the vectorized engine falls back to the
+        batched callback path for this protocol.  Irregular protocols
+        (data-dependent waiting, per-node control flow) should keep it that
+        way.
+        """
+        return None
+
     def collect_output(self, ctx: NodeContext) -> Any:
         """Value reported for this node in the run result (default: output)."""
         return ctx.output

@@ -295,6 +295,32 @@ class ShardingStats:
             return 0.0
         return self.setup_seconds / len(self.phases)
 
+    def observe_run(
+        self,
+        protocol_messages: int,
+        cross_shard_messages: int,
+        boundary_bytes: int,
+        barrier_rounds: int,
+        setup_seconds: float,
+        plan: Optional[ShardPlan] = None,
+    ) -> None:
+        """Fold one execution into the session totals.
+
+        The **only** accumulation path: :meth:`observe_phase` delegates
+        here, and :meth:`ShardedEngine.execute` calls this directly, so one
+        ``execute`` can never be added to the totals twice no matter which
+        observer fires (the double-accounting risk when a stats-collecting
+        engine and a session both observed the same run).
+        """
+        self.runs += 1
+        self.protocol_messages += protocol_messages
+        self.cross_shard_messages += cross_shard_messages
+        self.boundary_bytes += boundary_bytes
+        self.barrier_rounds += barrier_rounds
+        self.setup_seconds += setup_seconds
+        if plan is not None:
+            self.plans.append(plan)
+
     def observe_phase(
         self,
         label: str,
@@ -305,12 +331,13 @@ class ShardingStats:
         setup_seconds: float,
     ) -> None:
         """Record one session ``execute`` (partial plus session totals)."""
-        self.runs += 1
-        self.protocol_messages += protocol_messages
-        self.cross_shard_messages += cross_shard_messages
-        self.boundary_bytes += boundary_bytes
-        self.barrier_rounds += barrier_rounds
-        self.setup_seconds += setup_seconds
+        self.observe_run(
+            protocol_messages,
+            cross_shard_messages,
+            boundary_bytes,
+            barrier_rounds,
+            setup_seconds,
+        )
         self.phases.append(
             SessionPhaseStats(
                 label=label,
@@ -884,14 +911,15 @@ class ShardedEngine(Engine):
             )
         result = run.run()
         if self.stats is not None:
-            self.stats.runs += 1
-            self.stats.plans.append(plan)
             total, cross = run.traffic_totals()
-            self.stats.protocol_messages += total
-            self.stats.cross_shard_messages += cross
-            self.stats.boundary_bytes += run.boundary_bytes
-            self.stats.barrier_rounds += run.barrier_rounds
-            self.stats.setup_seconds += run.setup_seconds
+            self.stats.observe_run(
+                total,
+                cross,
+                run.boundary_bytes,
+                run.barrier_rounds,
+                run.setup_seconds,
+                plan=plan,
+            )
         return result
 
     # ------------------------------------------------------------------

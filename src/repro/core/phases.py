@@ -31,6 +31,31 @@ pipelined through :class:`repro.primitives.pipelines.Outbox`).
 State shared between phases lives in each node's ``ctx.state`` under the
 ``KEY_*`` names below; the runner (:mod:`repro.core.dist_near_clique`) wires
 the phases together and harvests the final outputs.
+
+**Vectorized-kernel coverage.**  Under ``engine="vectorized"``
+(:mod:`repro.congest.vectorized`) the *regular* phases — those whose round
+structure is a closed-form pipelined broadcast, with no data-dependent
+waiting — execute as columnar gather/apply/scatter kernels instead of
+per-node callbacks; the rest fall back to the batched callback path.  The
+callbacks below remain the executable semantics either way (the kernels are
+held to bit-identity by the differential suite):
+
+=====================  ==========================================
+Phase                  ``engine="vectorized"`` execution
+=====================  ==========================================
+SamplingPhase          kernel (local coin flips, zero rounds)
+MinIdBFSTreeProtocol   callback fallback (data-dependent waves)
+ParentNotification     callback fallback
+ConvergecastCollect    callback fallback (waits on subtrees)
+TreeBroadcast          callback fallback
+CompDisseminationPhase kernel (pipelined neighbourhood broadcast)
+LocalSubsetPhase       callback fallback (single-shot sends)
+UpAggregationPhase     callback fallback (waits on leaves/children)
+DownBroadcastPhase     callback fallback (multi-hop relay)
+KAnnouncePhase         kernel (pipelined neighbourhood broadcast)
+VotePhase              callback fallback (waits on subtrees)
+FinalLabelPhase        callback fallback (multi-hop relay)
+=====================  ==========================================
 """
 
 from __future__ import annotations
@@ -39,6 +64,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.congest.message import Inbound, Message, id_bits_for, KIND_TAG_BITS
 from repro.congest.node import NodeContext, Protocol
+from repro.congest.vectorized import KernelFrame, VectorizedKernel
 from repro.core import near_clique
 from repro.primitives.bfs_tree import (
     KEY_CHILDREN,
@@ -161,6 +187,38 @@ class SamplingPhase(Protocol):
     def collect_output(self, ctx: NodeContext) -> bool:
         return bool(ctx.state.get(KEY_IN_SAMPLE))
 
+    def vectorized_kernel(self) -> "_SamplingKernel":
+        return _SamplingKernel()
+
+
+class _SamplingKernel(VectorizedKernel):
+    """Columnar form of :class:`SamplingPhase`.
+
+    Pure apply stage: every node flips its coin (through its own private
+    RNG, drawn in dense-index order so the consumption matches the callback
+    engines draw for draw), writes the sample flags and halts — the whole
+    phase is zero rounds of communication, which the empty broadcast
+    schedule reproduces.
+    """
+
+    def execute(self, frame: KernelFrame) -> None:
+        halted = frame.halted
+        for index, ctx in enumerate(frame.ctx_list):
+            state = ctx.state
+            forced = state.get(KEY_FORCED_SAMPLE)
+            if forced is None:
+                probability = float(
+                    ctx.globals.get(GLOBAL_SAMPLE_PROBABILITY, 0.0)
+                )
+                in_sample = ctx.rng.random() < probability
+            else:
+                in_sample = bool(forced)
+            state[KEY_IN_SAMPLE] = in_sample
+            state[KEY_PARTICIPANT] = in_sample
+            ctx.output = None
+            halted[index] = True
+        frame.run_broadcast_schedule((), ())
+
 
 # ---------------------------------------------------------------------------
 # exploration step 3: component membership to all neighbours
@@ -202,6 +260,85 @@ class CompDisseminationPhase(Protocol):
             record = records.setdefault(root, {"members": set(), "senders": set()})
             record["members"].add(member)
             record["senders"].add(inbound.sender)
+
+    def vectorized_kernel(self) -> "_CompDisseminationKernel":
+        return _CompDisseminationKernel()
+
+
+class _CompDisseminationKernel(VectorizedKernel):
+    """Columnar form of :class:`CompDisseminationPhase`.
+
+    *Apply*: one sweep over the contexts performs the ``on_start`` state
+    writes (canonical member lists at sampled nodes, empty component tables
+    plus isolation halts at the rest).  *Gather*: instead of folding one
+    delivered message at a time, each receiver with a broadcasting
+    neighbour folds that neighbour's whole member column at once — the
+    segment count over the sampled mask prunes the sweep to receivers that
+    actually have mail.  *Scatter*: each sampled node's stream (one
+    ``nc.comp`` item per member, pushed to every neighbour) goes to the
+    closed-form broadcast schedule, which reproduces the pipelined flush's
+    rounds and metrics exactly.
+    """
+
+    def execute(self, frame: KernelFrame) -> None:
+        np = frame.np
+        ctx_list = frame.ctx_list
+        degrees = frame.degrees
+        halted = frame.halted
+        n = frame.network.n
+        comp_kind = frame.intern_kind(_COMP)
+
+        sampled = np.zeros(frame.n, dtype=bool)
+        broadcasting = np.zeros(frame.n, dtype=bool)
+        roots: List[Optional[int]] = [None] * frame.n
+        member_lists: List[Tuple[int, ...]] = [()] * frame.n
+        senders: List[int] = []
+        streams: List[List[int]] = []
+        for index, ctx in enumerate(ctx_list):
+            state = ctx.state
+            if state.get(KEY_IN_SAMPLE):
+                sampled[index] = True
+                members = near_clique.canonical_members(
+                    state.get(KEY_COMP_BCAST, [])
+                )
+                state[KEY_COMP_MEMBERS] = members
+                root = state[KEY_ROOT]
+                roots[index] = root
+                member_lists[index] = members
+                if members:
+                    broadcasting[index] = True
+                    if degrees[index]:
+                        senders.append(index)
+                        streams.append(
+                            [_wire(_COMP, (root, member), n).bits for member in members]
+                        )
+            else:
+                state[KEY_ADJ_COMPONENTS] = {}
+                if not degrees[index]:
+                    halted[index] = True
+
+        # Receivers: non-sampled nodes with at least one broadcasting
+        # neighbour fold whole member columns; everyone else has no mail.
+        mail_counts = frame.count_flagged_neighbors(broadcasting)
+        for index in np.nonzero(~sampled & (mail_counts > 0))[0]:
+            ctx = ctx_list[index]
+            records = ctx.state[KEY_ADJ_COMPONENTS]
+            for neighbor in frame.neighbor_slice(int(index)):
+                neighbor = int(neighbor)
+                if not broadcasting[neighbor]:
+                    continue
+                record = records.get(roots[neighbor])
+                if record is None:
+                    record = records[roots[neighbor]] = {
+                        "members": set(),
+                        "senders": set(),
+                    }
+                record["members"].update(member_lists[neighbor])
+                record["senders"].add(ctx_list[neighbor].node_id)
+
+        frame.run_broadcast_schedule(
+            senders, streams, [comp_kind] * len(senders)
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -468,6 +605,85 @@ class KAnnouncePhase(Protocol):
             record["size"] = size
             record["senders"].add(inbound.sender)
         Outbox.for_ctx(ctx).flush()
+
+    def vectorized_kernel(self) -> "_KAnnounceKernel":
+        return _KAnnounceKernel()
+
+
+class _KAnnounceKernel(VectorizedKernel):
+    """Columnar form of :class:`KAnnouncePhase`.
+
+    *Apply*: one sweep computes each node's sorted ``(root, index, size)``
+    announcement column (and the ``on_start`` halts for nodes with nothing
+    to announce).  *Gather*: receivers with announcing neighbours merge
+    those columns position-major (queue position ascending, then sender
+    ascending) — the exact arrival order of the pipelined flush, so the
+    announcer tables are built entry for entry as the callbacks build them.
+    *Scatter*: the announcement columns go to the closed-form broadcast
+    schedule.
+    """
+
+    def execute(self, frame: KernelFrame) -> None:
+        np = frame.np
+        ctx_list = frame.ctx_list
+        degrees = frame.degrees
+        halted = frame.halted
+        n = frame.network.n
+        ksize_kind = frame.intern_kind(_KSIZE)
+
+        announcing = np.zeros(frame.n, dtype=bool)
+        items_by_node: List[Optional[List[Tuple[int, int, int]]]] = [None] * frame.n
+        senders: List[int] = []
+        streams: List[List[int]] = []
+        for index, ctx in enumerate(ctx_list):
+            state = ctx.state
+            memberships: Dict[int, Set[int]] = state.get(KEY_K_MEMBERSHIP, {})
+            sizes: Dict[int, Dict[int, int]] = state.get(KEY_K_SIZES, {})
+            state[KEY_K_NEIGHBOR_ANNOUNCERS] = {}
+            if not memberships or not any(memberships.values()):
+                halted[index] = True
+                continue
+            items: List[Tuple[int, int, int]] = []
+            for root in sorted(memberships):
+                root_sizes = sizes.get(root, {})
+                for subset_index in sorted(memberships[root]):
+                    size = root_sizes.get(subset_index, 0)
+                    if size <= 0:
+                        continue
+                    items.append((root, subset_index, size))
+            if items and degrees[index]:
+                announcing[index] = True
+                items_by_node[index] = items
+                senders.append(index)
+                streams.append([_wire(_KSIZE, item, n).bits for item in items])
+
+        mail_counts = frame.count_flagged_neighbors(announcing)
+        for index in np.nonzero(~halted & (mail_counts > 0))[0]:
+            ctx = ctx_list[index]
+            memberships = ctx.state.get(KEY_K_MEMBERSHIP, {})
+            announcers = ctx.state[KEY_K_NEIGHBOR_ANNOUNCERS]
+            columns = [
+                (ctx_list[int(j)].node_id, items_by_node[int(j)])
+                for j in frame.neighbor_slice(int(index))
+                if items_by_node[int(j)] is not None
+            ]
+            depth = max(len(items) for _sender, items in columns)
+            for position in range(depth):
+                for sender_id, items in columns:
+                    if position >= len(items):
+                        continue
+                    root, subset_index, size = items[position]
+                    if subset_index not in memberships.get(root, ()):
+                        continue
+                    record = announcers.setdefault(
+                        (root, subset_index), {"size": size, "senders": set()}
+                    )
+                    record["size"] = size
+                    record["senders"].add(sender_id)
+
+        frame.run_broadcast_schedule(
+            senders, streams, [ksize_kind] * len(senders)
+        )
 
 
 def build_t_membership(ctx: NodeContext) -> None:

@@ -475,6 +475,7 @@ class TestProcessBackend:
 SESSION_BACKENDS = [
     pytest.param("batched", {}, id="batched"),
     pytest.param("async", {}, id="async"),
+    pytest.param("vectorized", {}, id="vectorized"),
     pytest.param("sharded", {"shards": 3}, id="sharded-serial"),
     pytest.param(
         "sharded",
@@ -728,7 +729,13 @@ class TestAsyncControlOverhead:
 class TestEngineRegistry:
     def test_available_engines_sorted(self):
         engines = available_engines()
-        assert engines == ("async", "batched", "reference", "sharded")
+        assert engines == (
+            "async",
+            "batched",
+            "reference",
+            "sharded",
+            "vectorized",
+        )
         assert engines == tuple(sorted(engines))
 
     def test_get_engine_by_name(self):

@@ -43,6 +43,7 @@ from repro.congest.sharding import (
     SharedCSR,
     ShardPlan,
     ShardedEngine,
+    ShardingStats,
     cached_partition,
     invalidate_partition_cache,
     partition_network,
@@ -996,3 +997,114 @@ class TestExecutionSessions:
         with get_engine("batched").open_session(network, CongestConfig()) as session:
             with pytest.raises(ValueError, match="session"):
                 run_protocol(other, _PingAll(), session=session)
+
+
+class TestShardingStatsAccounting:
+    """``observe_run`` is the single accumulation path; properties stay
+    finite on empty/zero-denominator sessions."""
+
+    def test_observe_phase_counts_each_execute_once(self):
+        # Regression for the double-accounting risk: a phase observation
+        # must go through the same single accumulation path as a direct run
+        # observation, so totals count every execute exactly once even when
+        # both an engine-level and a session-level observer exist.
+        stats = ShardingStats()
+        stats.observe_run(10, 4, 0, 0, 0.5)
+        stats.observe_phase("phase-a", 20, 6, 128, 3, 0.25)
+        stats.observe_phase("phase-b", 30, 8, 256, 5, 0.25)
+        assert stats.runs == 3
+        assert stats.protocol_messages == 60
+        assert stats.cross_shard_messages == 18
+        assert stats.boundary_bytes == 384
+        assert stats.barrier_rounds == 8
+        assert stats.setup_seconds == pytest.approx(1.0)
+        # Phase partials record only the phase-labelled observations, and
+        # the totals equal direct-run + phase contributions with no double
+        # counting.
+        assert [phase.label for phase in stats.phases] == ["phase-a", "phase-b"]
+        assert stats.protocol_messages == 10 + sum(
+            phase.protocol_messages for phase in stats.phases
+        )
+        assert stats.boundary_bytes == sum(
+            phase.boundary_bytes for phase in stats.phases
+        )
+
+    def test_zero_denominator_properties(self):
+        stats = ShardingStats()
+        assert stats.cross_shard_fraction == 0.0
+        assert stats.bytes_per_round == 0.0
+        assert stats.setup_seconds_per_phase == 0.0
+        # A recorded run with zero barriers/messages (empty network, or an
+        # in-process backend that never serializes) must not divide by zero.
+        stats.observe_phase("empty", 0, 0, 0, 0, 0.0)
+        assert stats.runs == 1
+        assert stats.cross_shard_fraction == 0.0
+        assert stats.bytes_per_round == 0.0
+        assert stats.setup_seconds_per_phase == 0.0
+
+    def test_phase_list_growth_over_long_session(self):
+        stats = ShardingStats()
+        for index in range(25):
+            stats.observe_phase("phase-%d" % index, 2, 1, 10, 2, 0.1)
+        assert stats.runs == 25
+        assert len(stats.phases) == 25
+        assert [phase.label for phase in stats.phases] == [
+            "phase-%d" % index for index in range(25)
+        ]
+        assert stats.setup_seconds_per_phase == pytest.approx(0.1)
+        assert stats.bytes_per_round == pytest.approx(5.0)
+        assert stats.protocol_messages == 50
+
+    def test_multi_phase_persistent_session_totals_pinned(self):
+        # End-to-end totals over a real persistent session mixing fresh and
+        # reuse executes: runs == phases, totals == sum of partials.
+        network = Network(nx.cycle_graph(12), seed=0)
+        session, _config = _open_process_session(network, shards=2)
+        with session:
+            session.execute(_PingAll())
+            session.execute(_PingAll(), reuse_contexts=True)
+            session.execute(_PingAll())  # fresh contexts: pool respawn path
+            stats = session.stats
+        assert stats.runs == 3 == len(stats.phases)
+        for field in (
+            "protocol_messages",
+            "cross_shard_messages",
+            "boundary_bytes",
+            "barrier_rounds",
+        ):
+            assert getattr(stats, field) == sum(
+                getattr(phase, field) for phase in stats.phases
+            ), "session total %r diverged from its phase partials" % field
+        assert stats.setup_seconds == pytest.approx(
+            sum(phase.setup_seconds for phase in stats.phases)
+        )
+        assert stats.protocol_messages == 3 * 24  # cycle ping-all, 3 runs
+        _assert_no_worker_processes()
+
+
+class TestSessionModeConstructionValidation:
+    """``session_mode`` typos fail at config construction (satellite fix)."""
+
+    def test_constructor_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown session mode"):
+            CongestConfig(session_mode="presistent")
+
+    def test_error_lists_allowed_values(self):
+        with pytest.raises(ValueError, match="per-call, persistent"):
+            CongestConfig(session_mode="bogus")
+
+    def test_with_session_mode_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown session mode"):
+            CongestConfig().with_session_mode("bogus")
+
+    def test_replace_reruns_validation(self):
+        config = CongestConfig(session_mode="persistent")
+        with pytest.raises(ValueError, match="unknown session mode"):
+            dataclasses.replace(config, session_mode="bogus")
+
+    def test_valid_modes_construct(self):
+        assert CongestConfig(session_mode="per-call").session_mode == "per-call"
+        assert (
+            CongestConfig().with_session_mode("persistent").session_mode
+            == "persistent"
+        )
