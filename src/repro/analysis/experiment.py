@@ -153,6 +153,7 @@ def run_planted_trials(
     boosting_repetitions: Optional[int] = None,
     success_fn: Optional[Callable] = None,
     regenerate_graph: bool = True,
+    rng: Optional[random.Random] = None,
 ) -> TrialAggregate:
     """Run the standard planted-near-clique experiment.
 
@@ -171,10 +172,17 @@ def run_planted_trials(
         Explicit p; when omitted, p is chosen so that the expected sample is
         *expected_sample* nodes (the Theorem 2.1 formula with its constant
         scaled down to stay simulable — see EXPERIMENTS.md).
+    rng:
+        Master random source for the whole experiment (graph generation and
+        per-trial streams).  When omitted, ``random.Random(seed)`` is used;
+        passing an explicit instance lets callers share one source across
+        runners or replay a recorded state.  *seed* is ignored when *rng*
+        is given.
     """
     if engine not in ("centralized", "distributed", "boosted"):
         raise ValueError("unknown engine %r" % engine)
-    rng = random.Random(seed)
+    if rng is None:
+        rng = random.Random(seed)
     defect = planted_defect if planted_defect is not None else epsilon ** 3
     p = (
         sample_probability
@@ -235,9 +243,15 @@ def run_on_graph(
     min_output_size: int = 0,
     boosting_repetitions: Optional[int] = None,
     success_fn: Optional[Callable] = None,
+    rng: Optional[random.Random] = None,
 ) -> TrialAggregate:
-    """Run repeated trials of a near-clique finder on a fixed graph."""
-    rng = random.Random(seed)
+    """Run repeated trials of a near-clique finder on a fixed graph.
+
+    *rng* overrides the ``random.Random(seed)`` master source, exactly as in
+    :func:`run_planted_trials`.
+    """
+    if rng is None:
+        rng = random.Random(seed)
     parameters = AlgorithmParameters(
         epsilon=epsilon,
         sample_probability=sample_probability,

@@ -15,6 +15,13 @@ Three subcommands cover the common workflows without writing any Python:
     Check whether a given set of nodes is an ε-near clique of a saved graph
     (Definition 1), printing the density certificate.
 
+``repro-nearclique lint``
+    Run the static protocol-contract analyzer (:mod:`repro.lint`) over a
+    source tree: every :class:`~repro.congest.node.Protocol` subclass is
+    checked against the engine stack's determinism / pickling /
+    wire-vocabulary / bit-budget / hook-discipline invariants before any
+    runtime ever executes it.  Also available as ``python -m repro.lint``.
+
 The CLI is intentionally thin: every flag maps one-to-one onto a public API
 parameter, so scripts can graduate to the library without translation.
 """
@@ -36,6 +43,7 @@ from repro.core.dist_near_clique import DistNearCliqueRunner
 from repro.core.reference import CentralizedNearCliqueFinder
 from repro.core.params import AlgorithmParameters
 from repro.graphs import generators, io
+from repro.lint import cli as lint_cli
 
 
 def _positive_int(text: str) -> int:
@@ -143,6 +151,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--nodes",
         help="comma-separated node ids; default: the planted set recorded in the file",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="static protocol-contract analyzer (pre-runtime engine invariants)",
+    )
+    lint_cli.configure_parser(lint)
     return parser
 
 
@@ -337,6 +351,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_generate(args)
     if args.command == "verify":
         return _cmd_verify(args)
+    if args.command == "lint":
+        return lint_cli.run_from_args(args)
     raise AssertionError("unreachable")
 
 

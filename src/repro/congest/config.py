@@ -140,6 +140,23 @@ class CongestConfig:
                 "unknown session mode %r; available modes: %s"
                 % (self.session_mode, ", ".join(SESSION_MODES))
             )
+        # The sharding knobs share that history: ``shards=0`` used to
+        # produce an empty plan that only blew up once the partitioner ran.
+        # Note ``shard_workers=0`` is *valid* — it selects the serial
+        # deterministic mode (see the field docs) — so the floor is 0,
+        # not 1; only genuinely meaningless negatives are rejected.
+        if self.shards < 1:
+            raise ValueError(
+                "shards must be >= 1 (got %d); the sharded engine needs at "
+                "least one shard, and surplus shards beyond the node count "
+                "are simply left empty" % self.shards
+            )
+        if self.shard_workers < 0:
+            raise ValueError(
+                "shard_workers must be >= 0 (got %d); 0 or 1 selects the "
+                "serial deterministic mode, >= 2 a thread pool"
+                % self.shard_workers
+            )
 
     def with_log_budget(self, n: int) -> "CongestConfig":
         """Return a copy whose message budget is ``budget_multiplier * log2 n``.

@@ -221,6 +221,15 @@ class Protocol:
     Subclasses override :meth:`on_start` and :meth:`on_round`.  The default
     implementations do nothing, so trivial protocols (for example a protocol
     that only inspects its local neighbourhood) can override a single hook.
+
+    Subclasses are bound by the engine contract — hooks must be
+    deterministic given ``ctx.rng`` (no module-level randomness, clocks or
+    ``id()``), per-node state must be picklable (the sharded engine's
+    process backend ships it across worker pipes), payloads must stay
+    inside the wire vocabulary and the O(log n) bit budget, and only the
+    public :class:`NodeContext` API may be used.  ``repro lint``
+    (:mod:`repro.lint`) checks these rules statically, with one rule id per
+    invariant; the README's "Protocol contract" section lists them.
     """
 
     #: Human-readable protocol name used in metrics and error messages.

@@ -1,0 +1,83 @@
+"""Argument handling shared by ``python -m repro.lint`` and the
+``repro-nearclique lint`` subcommand.
+
+The lint package itself is stdlib-only (``ast`` + ``tokenize``); running it
+never imports or executes the code under analysis, so it works on files that
+would fail to import.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.core import run_lint
+from repro.lint.report import render_json, render_rules, render_text
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to *parser* (used by both entry points)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (text is clickable file:line:col lines)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule-id prefixes to run (e.g. DET,HOOK001)",
+    )
+    parser.add_argument(
+        "--ignore",
+        help="comma-separated rule-id prefixes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry (id, severity, invariant) and exit",
+    )
+
+
+def _split(spec: Optional[str]) -> Optional[Sequence[str]]:
+    if not spec:
+        return None
+    return tuple(part.strip() for part in spec.split(",") if part.strip())
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute lint for parsed arguments; returns the process exit code."""
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    findings = run_lint(
+        args.paths, select=_split(args.select), ignore=_split(args.ignore)
+    )
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static protocol-contract analyzer: checks every Protocol "
+            "subclass against the engine stack's determinism, pickling, "
+            "wire-vocabulary, bit-budget and hook-discipline invariants."
+        ),
+    )
+    configure_parser(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,409 @@
+"""Shared driver of the protocol-contract analyzer.
+
+The driver owns everything the individual rules share: file discovery, AST
+parsing, the cross-module :class:`~repro.lint.protocols.PackageIndex`, the
+rule registry (stable ids, severities, the invariant each rule protects),
+inline suppressions and the unused-suppression check.  A rule is a function
+``(ModuleUnit) -> Iterable[LintFinding]`` registered with the :func:`rule`
+decorator; rules never do their own I/O and never import target code.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.protocols import (
+    HookFunction,
+    PackageIndex,
+    collect_hooks,
+    import_aliases,
+    module_name_for,
+    package_root_for,
+)
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: Rule id reserved for files the analyzer cannot parse.
+SYNTAX_RULE_ID = "SYNTAX"
+
+
+@dataclass(frozen=True, order=True)
+class LintFinding:
+    """One reported contract violation, anchored to ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int  # 1-based, matching editors / clickable terminal output
+    rule_id: str
+    severity: str
+    message: str
+
+    @property
+    def location(self) -> str:
+        return "%s:%d:%d" % (self.path, self.line, self.col)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: stable id, severity, and the invariant it protects."""
+
+    rule_id: str
+    severity: str
+    invariant: str
+    check: Optional[Callable[["ModuleUnit"], Iterable[LintFinding]]] = None
+
+
+_REGISTRY: Dict[str, Rule] = {}
+_RULES_LOADED = False
+
+
+def rule(rule_id: str, severity: str, invariant: str):
+    """Class-registry decorator for rule check functions."""
+
+    def decorate(fn: Callable[["ModuleUnit"], Iterable[LintFinding]]):
+        if rule_id in _REGISTRY:
+            raise ValueError("duplicate lint rule id %r" % rule_id)
+        _REGISTRY[rule_id] = Rule(rule_id, severity, invariant, fn)
+        return fn
+
+    return decorate
+
+
+def _ensure_rules_loaded() -> None:
+    """Import the rule modules exactly once (they self-register)."""
+    global _RULES_LOADED
+    if not _RULES_LOADED:
+        import repro.lint.rules  # noqa: F401  (registration side effect)
+
+        _RULES_LOADED = True
+
+
+def all_rules() -> Tuple[Rule, ...]:
+    """Every registered rule plus the driver-owned suppression rules."""
+    _ensure_rules_loaded()
+    rules = dict(_REGISTRY)
+    rules.setdefault(
+        "SUP001",
+        Rule(
+            "SUP001",
+            SEVERITY_WARNING,
+            "a `# repro-lint: ignore[...]` comment must suppress a real "
+            "finding; stale suppressions hide contract drift",
+        ),
+    )
+    rules.setdefault(
+        "SUP002",
+        Rule(
+            "SUP002",
+            SEVERITY_WARNING,
+            "suppression comments may only name registered rule ids",
+        ),
+    )
+    return tuple(rules[key] for key in sorted(rules))
+
+
+def get_rule(rule_id: str) -> Rule:
+    for registered in all_rules():
+        if registered.rule_id == rule_id:
+            return registered
+    raise KeyError("unknown lint rule %r" % rule_id)
+
+
+# ---------------------------------------------------------------------------
+# per-module analysis context
+# ---------------------------------------------------------------------------
+@dataclass
+class ModuleUnit:
+    """Everything a rule may look at for one source file."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    index: PackageIndex
+    aliases: Dict[str, str] = field(default_factory=dict)
+    protocol_classes: List[ast.ClassDef] = field(default_factory=list)
+    hooks: List[HookFunction] = field(default_factory=list)
+
+    def qualified_class_name(self, cls: ast.ClassDef) -> str:
+        return "%s.%s" % (self.module, cls.name) if self.module else cls.name
+
+    def resolve_call_target(self, node: ast.AST) -> Optional[str]:
+        """Dotted name a call resolves to, through the module's import aliases.
+
+        ``rnd.random()`` after ``import random as rnd`` resolves to
+        ``random.random``; unresolvable expressions return ``None``.
+        """
+        from repro.lint.protocols import dotted_name
+
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved = self.aliases.get(head)
+        if resolved is not None:
+            return "%s.%s" % (resolved, rest) if rest else resolved
+        return dotted
+
+    def finding(
+        self, rule_id: str, node: ast.AST, message: str
+    ) -> LintFinding:
+        registered = _REGISTRY[rule_id]
+        return LintFinding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=rule_id,
+            severity=registered.severity,
+            message=message,
+        )
+
+
+def build_unit(path: str, source: str, index: PackageIndex) -> ModuleUnit:
+    tree = ast.parse(source, filename=path)
+    unit = ModuleUnit(
+        path=path,
+        module=module_name_for(path),
+        source=source,
+        tree=tree,
+        index=index,
+        aliases=import_aliases(tree),
+    )
+    protocol_names = index.protocol_class_names()
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.ClassDef)
+            and unit.qualified_class_name(node) in protocol_names
+        ):
+            unit.protocol_classes.append(node)
+    unit.hooks = collect_hooks(tree, unit.protocol_classes)
+    return unit
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+# ---------------------------------------------------------------------------
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore\[([^\]]*)\]")
+
+
+@dataclass
+class Suppression:
+    """One ``# repro-lint: ignore[...]`` comment and its target line."""
+
+    path: str
+    line: int  # line the comment sits on
+    target_line: int  # line whose findings it suppresses
+    rule_ids: Tuple[str, ...]
+    used: Set[str] = field(default_factory=set)
+
+
+def parse_suppressions(path: str, source: str) -> List[Suppression]:
+    """Collect suppression comments via the token stream (not naive regex over
+    lines, so string literals containing the marker are never misread).
+
+    An inline comment suppresses findings on its own line; a standalone
+    comment (nothing but whitespace before the ``#``) suppresses findings on
+    the following line.
+    """
+    suppressions: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        ids = tuple(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        line = token.start[0]
+        standalone = token.line[: token.start[1]].strip() == ""
+        suppressions.append(
+            Suppression(
+                path=path,
+                line=line,
+                target_line=line + 1 if standalone else line,
+                rule_ids=ids,
+            )
+        )
+    return suppressions
+
+
+# ---------------------------------------------------------------------------
+# the driver
+# ---------------------------------------------------------------------------
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted, de-duplicated .py file list."""
+    found: List[str] = []
+    seen: Set[str] = set()
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in ("__pycache__", ".git")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        candidate = os.path.join(root, name)
+                        if candidate not in seen:
+                            seen.add(candidate)
+                            found.append(candidate)
+        elif path.endswith(".py") and path not in seen:
+            seen.add(path)
+            found.append(path)
+    return sorted(found)
+
+
+def _index_roots(files: Sequence[str]) -> List[str]:
+    roots: List[str] = []
+    for path in files:
+        root = package_root_for(path)
+        if root not in roots:
+            roots.append(root)
+    return roots
+
+
+def build_index(files: Sequence[str]) -> PackageIndex:
+    """Index class definitions across each input's whole package root.
+
+    Linting a single file must still resolve protocol classes whose bases
+    live elsewhere in the package, so the index pass always covers the full
+    package tree around every input — indexing parses only, which is cheap.
+    """
+    index = PackageIndex()
+    indexed: Set[str] = set()
+    for path in list(files) + discover_files(_index_roots(files)):
+        if path in indexed:
+            continue
+        indexed.add(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+            index.add_module(path, ast.parse(source, filename=path))
+        except (OSError, SyntaxError, ValueError):
+            continue  # unreadable/unparsable files simply contribute nothing
+    return index
+
+
+def _matches(rule_id: str, prefixes: Optional[Sequence[str]]) -> bool:
+    if not prefixes:
+        return False
+    return any(rule_id.startswith(prefix) for prefix in prefixes)
+
+
+def run_lint(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[LintFinding]:
+    """Analyze *paths* and return every finding, sorted by location.
+
+    ``select`` / ``ignore`` filter by rule-id prefix (``select=["DET"]`` runs
+    only the determinism rules).  Suppressed findings are dropped; unused or
+    unknown suppressions surface as ``SUP001`` / ``SUP002`` findings.
+    """
+    _ensure_rules_loaded()
+    files = discover_files(paths)
+    index = build_index(files)
+    known_ids = {registered.rule_id for registered in all_rules()}
+
+    findings: List[LintFinding] = []
+    for path in files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            findings.append(
+                LintFinding(path, 1, 1, SYNTAX_RULE_ID, SEVERITY_ERROR, str(exc))
+            )
+            continue
+        try:
+            unit = build_unit(path, source, index)
+        except SyntaxError as exc:
+            findings.append(
+                LintFinding(
+                    path,
+                    exc.lineno or 1,
+                    (exc.offset or 0) + 1,
+                    SYNTAX_RULE_ID,
+                    SEVERITY_ERROR,
+                    "syntax error: %s" % (exc.msg,),
+                )
+            )
+            continue
+
+        raw: List[LintFinding] = []
+        for registered in _REGISTRY.values():
+            if select and not _matches(registered.rule_id, select):
+                continue
+            if ignore and _matches(registered.rule_id, ignore):
+                continue
+            raw.extend(registered.check(unit))
+
+        suppressions = parse_suppressions(path, source)
+        by_line: Dict[int, List[Suppression]] = {}
+        for suppression in suppressions:
+            by_line.setdefault(suppression.target_line, []).append(suppression)
+
+        for finding in raw:
+            suppressed = False
+            for suppression in by_line.get(finding.line, ()):
+                if finding.rule_id in suppression.rule_ids:
+                    suppression.used.add(finding.rule_id)
+                    suppressed = True
+            if not suppressed:
+                findings.append(finding)
+
+        for suppression in suppressions:
+            for rule_id in suppression.rule_ids:
+                if rule_id not in known_ids:
+                    if not (
+                        (select and not _matches("SUP002", select))
+                        or (ignore and _matches("SUP002", ignore))
+                    ):
+                        findings.append(
+                            LintFinding(
+                                path,
+                                suppression.line,
+                                1,
+                                "SUP002",
+                                SEVERITY_WARNING,
+                                "suppression names unknown rule %r" % rule_id,
+                            )
+                        )
+                elif rule_id not in suppression.used:
+                    # A select/ignore filter that skipped the rule would make
+                    # every suppression of it look stale; only report unused
+                    # suppressions for rules that actually ran.
+                    ran = not (select and not _matches(rule_id, select)) and not (
+                        ignore and _matches(rule_id, ignore)
+                    )
+                    report_sup = not (
+                        (select and not _matches("SUP001", select))
+                        or (ignore and _matches("SUP001", ignore))
+                    )
+                    if ran and report_sup:
+                        findings.append(
+                            LintFinding(
+                                path,
+                                suppression.line,
+                                1,
+                                "SUP001",
+                                SEVERITY_WARNING,
+                                "unused suppression of %s (nothing to "
+                                "suppress on line %d)"
+                                % (rule_id, suppression.target_line),
+                            )
+                        )
+
+    return sorted(findings)

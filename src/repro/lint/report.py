@@ -1,0 +1,79 @@
+"""Reporters for lint findings: clickable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.core import SEVERITY_ERROR, LintFinding, all_rules
+
+
+def summarize(findings: Sequence[LintFinding]) -> Dict[str, int]:
+    errors = sum(1 for f in findings if f.severity == SEVERITY_ERROR)
+    return {
+        "findings": len(findings),
+        "errors": errors,
+        "warnings": len(findings) - errors,
+        "files": len({f.path for f in findings}),
+    }
+
+
+def render_text(findings: Sequence[LintFinding]) -> str:
+    """One ``path:line:col: RULE severity: message`` line per finding.
+
+    The ``path:line:col`` prefix is the conventional clickable form, so
+    terminals and editors jump straight to the finding.
+    """
+    lines: List[str] = [
+        "%s: %s %s: %s"
+        % (finding.location, finding.rule_id, finding.severity, finding.message)
+        for finding in findings
+    ]
+    counts = summarize(findings)
+    if findings:
+        lines.append(
+            "%d finding%s (%d error%s, %d warning%s) in %d file%s"
+            % (
+                counts["findings"],
+                "s" if counts["findings"] != 1 else "",
+                counts["errors"],
+                "s" if counts["errors"] != 1 else "",
+                counts["warnings"],
+                "s" if counts["warnings"] != 1 else "",
+                counts["files"],
+                "s" if counts["files"] != 1 else "",
+            )
+        )
+    else:
+        lines.append("clean: no protocol-contract findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[LintFinding]) -> str:
+    """A stable JSON document: the findings plus a count summary."""
+    payload = {
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule_id,
+                "severity": finding.severity,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+        "summary": summarize(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rules() -> str:
+    """The rule registry as a table (``--list-rules``)."""
+    rules = all_rules()
+    width = max(len(r.rule_id) for r in rules)
+    lines = [
+        "%-*s  %-7s  %s" % (width, r.rule_id, r.severity, r.invariant)
+        for r in rules
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Bit-budget rule (BDG0xx).
+
+CONGEST messages carry O(log n) bits — a constant number of identifiers and
+polynomially-bounded counters.  A payload built from a whole container
+(``ctx.neighbors``, an accumulator in ``ctx.state``) scales with node degree
+or with round count instead, which only trips the runtime
+``message_bit_budget`` check on graphs large enough to exceed it — exactly
+the graphs tests rarely run.  The sanctioned pattern is pipelining: one
+element per message through :class:`repro.primitives.pipelines.Outbox`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import SEVERITY_WARNING, LintFinding, ModuleUnit, rule
+from repro.lint.rules._helpers import (
+    is_message_call,
+    message_payload_expr,
+    walk_function,
+)
+
+
+def _unbounded_reason(payload: ast.AST) -> Optional[str]:
+    for child in ast.walk(payload):
+        if isinstance(child, ast.Attribute) and child.attr == "neighbors":
+            return "the node's whole neighbour list"
+        if isinstance(child, ast.Attribute) and child.attr == "state":
+            return "a ctx.state container"
+        if isinstance(child, ast.Starred):
+            return "an unpacked container"
+    return None
+
+
+@rule(
+    "BDG001",
+    SEVERITY_WARNING,
+    "message payloads must stay O(log n) bits; containers that scale with "
+    "degree or with accumulated rounds must be pipelined element-wise",
+)
+def unbounded_payload(unit: ModuleUnit) -> Iterator[LintFinding]:
+    for hook in unit.hooks:
+        for node in walk_function(hook.func):
+            if not is_message_call(node, unit):
+                continue
+            payload = message_payload_expr(node)
+            if payload is None:
+                continue
+            reason = _unbounded_reason(payload)
+            if reason is not None:
+                yield unit.finding(
+                    "BDG001",
+                    payload,
+                    "message payload ships %s; the bit budget is O(log n) — "
+                    "pipeline one element per round via Outbox instead"
+                    % reason,
+                )

@@ -1,0 +1,140 @@
+"""Hook-discipline rules (HOOK0xx).
+
+The protocol life cycle is narrow by design: a node that called
+``ctx.halt()`` must stay silent, context internals belong to the engines,
+and a :meth:`~repro.congest.node.Protocol.vectorized_kernel` is only an
+*alternative execution* of callback semantics that must exist — the
+differential suite holds kernels to bit-identity against those callbacks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.core import SEVERITY_ERROR, LintFinding, ModuleUnit, rule
+from repro.lint.rules._helpers import is_send_call, walk_function
+
+
+def _is_ctx_halt(stmt: ast.stmt) -> bool:
+    if not isinstance(stmt, ast.Expr):
+        return False
+    call = stmt.value
+    return (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Attribute)
+        and call.func.attr == "halt"
+        and isinstance(call.func.value, ast.Name)
+        and call.func.value.id == "ctx"
+    )
+
+
+def _child_blocks(stmt: ast.stmt) -> Iterator[List[ast.stmt]]:
+    for attr in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, attr, None)
+        if isinstance(block, list) and block and isinstance(
+            block[0], ast.stmt
+        ):
+            yield block
+    for handler in getattr(stmt, "handlers", ()):
+        yield handler.body
+
+
+@rule(
+    "HOOK001",
+    SEVERITY_ERROR,
+    "a halted node takes no further part in the protocol; a send after "
+    "ctx.halt() raises ProtocolError at runtime on every engine",
+)
+def send_after_halt(unit: ModuleUnit) -> Iterator[LintFinding]:
+    def scan_block(stmts: List[ast.stmt]) -> Iterator[LintFinding]:
+        halted = False
+        for stmt in stmts:
+            if halted:
+                for node in ast.walk(stmt):
+                    if is_send_call(node):
+                        yield unit.finding(
+                            "HOOK001",
+                            node,
+                            "message enqueued after ctx.halt() in the same "
+                            "block; halted nodes must stay silent",
+                        )
+            else:
+                for block in _child_blocks(stmt):
+                    for finding in scan_block(block):
+                        yield finding
+                if _is_ctx_halt(stmt):
+                    halted = True
+
+    for hook in unit.hooks:
+        for finding in scan_block(list(hook.func.body)):
+            yield finding
+
+
+@rule(
+    "HOOK002",
+    SEVERITY_ERROR,
+    "NodeContext underscore internals are engine-facing; protocol code must "
+    "stay on the public API so every backend can honour the contract",
+)
+def private_context_access(unit: ModuleUnit) -> Iterator[LintFinding]:
+    for hook in unit.hooks:
+        for node in walk_function(hook.func):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "ctx"
+                and node.attr.startswith("_")
+            ):
+                yield unit.finding(
+                    "HOOK002",
+                    node,
+                    "access to engine-internal ctx.%s from protocol code; "
+                    "use the public NodeContext API (send/send_all/halt/"
+                    "write_output/state)" % node.attr,
+                )
+
+
+def _returns_value(func: ast.AST) -> bool:
+    """True when the function's own scope returns something other than None."""
+    stack: List[ast.AST] = list(func.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # nested scopes return for themselves
+        if isinstance(node, ast.Return) and node.value is not None:
+            if not (
+                isinstance(node.value, ast.Constant) and node.value.value is None
+            ):
+                return True
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@rule(
+    "HOOK003",
+    SEVERITY_ERROR,
+    "a vectorized_kernel() is an alternative execution of the callbacks, "
+    "which remain the executable semantics the differential suite enforces",
+)
+def kernel_without_callbacks(unit: ModuleUnit) -> Iterator[LintFinding]:
+    for cls in unit.protocol_classes:
+        kernel_def = None
+        for item in cls.body:
+            if (
+                isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and item.name == "vectorized_kernel"
+            ):
+                kernel_def = item
+                break
+        if kernel_def is None or not _returns_value(kernel_def):
+            continue
+        qualified = unit.qualified_class_name(cls)
+        if not unit.index.ancestry_defines(qualified, ("on_start", "on_round")):
+            yield unit.finding(
+                "HOOK003",
+                kernel_def,
+                "%s declares a vectorized_kernel() but neither defines nor "
+                "inherits on_start/on_round callback semantics for the "
+                "kernel to be held bit-identical to" % cls.name,
+            )

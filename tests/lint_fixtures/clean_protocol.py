@@ -1,0 +1,34 @@
+"""Lint fixture: a protocol that honours every rule of the engine contract.
+
+``tests/test_lint.py`` asserts the analyzer reports zero findings here —
+the rules must stay silent on idiomatic protocol code, not just fire on bad
+code.  The protocol mirrors the repo's house style: ``ctx.rng`` for
+randomness, sorted iteration before sends, tuple payloads of wire-vocabulary
+scalars, O(log n)-sized messages, and only the public NodeContext API.
+"""
+
+from repro.congest.message import Message
+from repro.congest.node import NodeContext, Protocol
+
+
+class CleanEchoProtocol(Protocol):
+    """Each node samples one neighbour with ctx.rng and echoes its id."""
+
+    name = "clean-echo"
+
+    def on_start(self, ctx: NodeContext) -> None:
+        neighbors = sorted(ctx.neighbors)
+        if not neighbors:
+            ctx.write_output(("isolated", ctx.node_id))
+            ctx.halt()
+            return
+        pick = neighbors[ctx.rng.randrange(len(neighbors))]
+        ctx.send(pick, Message(kind="echo", payload=(ctx.node_id,)))
+
+    def on_round(self, ctx: NodeContext, inbox) -> None:
+        for message in inbox:
+            ctx.write_output(("heard", message.payload[0]))
+        ctx.halt()
+
+    def collect_output(self, ctx: NodeContext):
+        return tuple(sorted(ctx.state.get("out", ())))

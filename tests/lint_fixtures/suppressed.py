@@ -1,0 +1,41 @@
+"""Lint fixture exercising the suppression machinery.
+
+Lines 1–2 of violations are silenced (inline and standalone comment forms),
+then one suppression is stale (``SUP001``) and one names a rule id that does
+not exist (``SUP002``).  ``tests/test_lint.py`` asserts the silenced rules do
+NOT appear and that exactly the two SUP findings do.
+"""
+
+import random
+
+from repro.congest.message import Message
+from repro.congest.node import NodeContext, Protocol
+
+
+class SuppressedProtocol(Protocol):
+    """Both violations below are deliberately justified away."""
+
+    name = "suppressed"
+
+    def on_start(self, ctx: NodeContext) -> None:
+        jitter = random.random()  # repro-lint: ignore[DET001] fixture: inline form
+        # repro-lint: ignore[WIRE001] fixture: standalone form covers next line
+        ctx.send_all(Message(kind="raw", payload=[jitter]))
+
+
+class StaleSuppressionProtocol(Protocol):
+    """The line below is clean, so its suppression is unused -> SUP001."""
+
+    name = "stale"
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.halt()  # repro-lint: ignore[HOOK001] nothing fires here
+
+
+class UnknownRuleProtocol(Protocol):
+    """A suppression naming a nonexistent rule id -> SUP002."""
+
+    name = "unknown-rule"
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.halt()  # repro-lint: ignore[NOPE999]

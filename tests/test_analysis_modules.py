@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import random
 
 import pytest
 from hypothesis import given, strategies as st
@@ -217,6 +218,46 @@ class TestExperimentHarness:
             graph, planted.members, epsilon=0.2, delta=0.5, trials=3, seed=1
         )
         assert aggregate.trials == 3
+
+    def test_injected_rng_matches_equivalent_seed(self):
+        # rng=random.Random(s) must reproduce seed=s exactly: the injectable
+        # source is a strict generalisation, not a second code path.
+        kwargs = dict(n=40, epsilon=0.2, delta=0.5, trials=3)
+        seeded = experiment.run_planted_trials(seed=7, **kwargs)
+        injected = experiment.run_planted_trials(rng=random.Random(7), **kwargs)
+        assert injected.outcomes == seeded.outcomes
+
+    def test_injected_rng_overrides_seed(self):
+        kwargs = dict(n=40, epsilon=0.2, delta=0.5, trials=3)
+        baseline = experiment.run_planted_trials(seed=7, **kwargs)
+        overridden = experiment.run_planted_trials(
+            seed=999, rng=random.Random(7), **kwargs
+        )
+        assert overridden.outcomes == baseline.outcomes
+
+    def test_injected_rng_run_on_graph(self):
+        graph, planted = generators.planted_near_clique(40, 0.5, 0.0, 0.05, seed=2)
+        kwargs = dict(
+            graph=graph, planted=planted.members, epsilon=0.2, delta=0.5, trials=2
+        )
+        seeded = experiment.run_on_graph(seed=11, **kwargs)
+        injected = experiment.run_on_graph(rng=random.Random(11), **kwargs)
+        assert injected.outcomes == seeded.outcomes
+
+    def test_shared_rng_advances_across_calls(self):
+        # One master source shared by consecutive runs yields different
+        # (but deterministic) trials — the stream is consumed, not reset.
+        kwargs = dict(n=40, epsilon=0.2, delta=0.5, trials=2)
+        shared = random.Random(13)
+        first = experiment.run_planted_trials(rng=shared, **kwargs)
+        second = experiment.run_planted_trials(rng=shared, **kwargs)
+        replay = random.Random(13)
+        assert experiment.run_planted_trials(rng=replay, **kwargs).outcomes == (
+            first.outcomes
+        )
+        assert experiment.run_planted_trials(rng=replay, **kwargs).outcomes == (
+            second.outcomes
+        )
 
     def test_sweep_pairs_points_with_results(self):
         points = [

@@ -1108,3 +1108,47 @@ class TestSessionModeConstructionValidation:
             CongestConfig().with_session_mode("persistent").session_mode
             == "persistent"
         )
+
+
+class TestShardingKnobConstructionValidation:
+    """``shards`` / ``shard_workers`` nonsense fails at config construction.
+
+    ``shard_workers=0`` stays legal — it is the documented serial
+    deterministic mode and the repo-wide default — so the floor is 0 for
+    workers and 1 for shards.
+    """
+
+    def test_constructor_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            CongestConfig(shards=0)
+
+    def test_constructor_rejects_negative_shards(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            CongestConfig(shards=-3)
+
+    def test_constructor_rejects_negative_workers(self):
+        with pytest.raises(ValueError, match="shard_workers must be >= 0"):
+            CongestConfig(shard_workers=-1)
+
+    def test_error_messages_carry_the_offending_value(self):
+        with pytest.raises(ValueError, match=r"\(got 0\)"):
+            CongestConfig(shards=0)
+        with pytest.raises(ValueError, match=r"\(got -2\)"):
+            CongestConfig(shard_workers=-2)
+
+    def test_replace_reruns_validation(self):
+        config = CongestConfig().with_sharding(shards=4, workers=2)
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            dataclasses.replace(config, shards=0)
+        with pytest.raises(ValueError, match="shard_workers must be >= 0"):
+            dataclasses.replace(config, shard_workers=-1)
+
+    def test_with_sharding_reruns_validation(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            CongestConfig().with_sharding(shards=-1)
+
+    def test_valid_boundary_values_construct(self):
+        assert CongestConfig(shards=1).shards == 1
+        assert CongestConfig(shard_workers=0).shard_workers == 0
+        derived = CongestConfig().with_sharding(shards=1, workers=0)
+        assert (derived.shards, derived.shard_workers) == (1, 0)

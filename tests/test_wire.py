@@ -99,6 +99,79 @@ class TestPayloadCodec:
                 encode_payload(bad, bytearray())
 
 
+# The exact values where a fixed-width codec would overflow or where the
+# LEB128 continuation bit flips.  Python ints are unbounded and the varint
+# has no width cap, so every one of these must round-trip exactly — 2^63−1
+# and its neighbours are where a C-style int64 implementation breaks.
+_INT64_MAX = 2 ** 63 - 1
+_INT64_MIN = -(2 ** 63)
+_VARINT_BOUNDARIES = sorted(
+    {
+        0,
+        1,
+        -1,
+        2,
+        -2,
+        _INT64_MAX,
+        _INT64_MAX - 1,
+        _INT64_MAX + 1,
+        _INT64_MIN,
+        _INT64_MIN + 1,
+        _INT64_MIN - 1,
+        # LEB128 7-bit group edges: each is the first value needing one more
+        # continuation byte (and zigzag halves the usable magnitude).
+        *(2 ** (7 * k) for k in range(1, 11)),
+        *(2 ** (7 * k) - 1 for k in range(1, 11)),
+        *(-(2 ** (7 * k)) for k in range(1, 11)),
+    }
+)
+
+
+class TestVarintBoundaries:
+    """Satellite: pin the zigzag-LEB128 integer codec at its edges."""
+
+    @pytest.mark.parametrize("value", _VARINT_BOUNDARIES)
+    def test_boundary_integers_roundtrip(self, value):
+        decoded = _roundtrip(value)
+        assert decoded == value
+        assert type(decoded) is int
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        st.one_of(
+            st.integers(min_value=_INT64_MIN - 2, max_value=_INT64_MIN + 2),
+            st.integers(min_value=_INT64_MAX - 2, max_value=_INT64_MAX + 2),
+            st.integers(min_value=-(2 ** 70), max_value=2 ** 70),
+        )
+    )
+    def test_near_64_bit_integers_roundtrip(self, value):
+        assert _roundtrip(value) == value
+
+    def test_zigzag_keeps_small_magnitudes_short(self):
+        # Zigzag exists so small negatives do not pay the worst-case width:
+        # |value| < 64 must fit in tag + one varint byte either sign.
+        for value in range(-63, 64):
+            buf = bytearray()
+            encode_payload(value, buf)
+            assert len(buf) == 2, (value, bytes(buf))
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.sampled_from(_VARINT_BOUNDARIES), min_size=1, max_size=8))
+    def test_boundary_blob_roundtrip(self, values):
+        # A concatenated blob of extreme payloads keeps its boundaries: a
+        # varint that mis-consumed one byte would desynchronise the rest.
+        payload = tuple(values)
+        buf = bytearray()
+        encode_payload(payload, buf)
+        encode_payload(("trailer", 0), buf)
+        blob = bytes(buf)
+        first, offset = decode_payload(blob, 0)
+        second, offset = decode_payload(blob, offset)
+        assert first == payload
+        assert second == ("trailer", 0)
+        assert offset == len(blob)
+
+
 @st.composite
 def _message_strategy(draw):
     kind = draw(st.sampled_from(["bfs.explore", "nc.kcount", "ping", "le.flood"]))
