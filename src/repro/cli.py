@@ -15,6 +15,14 @@ Three subcommands cover the common workflows without writing any Python:
     Check whether a given set of nodes is an ε-near clique of a saved graph
     (Definition 1), printing the density certificate.
 
+``repro-nearclique serve``
+    Start the long-lived query daemon of :mod:`repro.service`: one request
+    per line on stdin (JSON: ``query`` / ``delta`` / ``stats`` /
+    ``shutdown``), one JSON response per line on stdout.  Topology deltas
+    stream in while the daemon holds one persistent execution session;
+    queries after small deltas are answered incrementally (dirty region
+    only) yet bit-identical to a fresh full run.
+
 ``repro-nearclique lint``
     Run the static protocol-contract analyzer (:mod:`repro.lint`) over a
     source tree: every :class:`~repro.congest.node.Protocol` subclass is
@@ -60,6 +68,56 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _add_congest_arguments(parser: argparse.ArgumentParser) -> None:
+    """The CONGEST engine-selection flags shared by ``find`` and ``serve``."""
+    parser.add_argument(
+        "--congest-engine",
+        choices=available_engines(),
+        default=CongestConfig().engine,
+        help="CONGEST execution engine "
+        "(bit-identical results; 'batched' is the fast path and the default, "
+        "'reference' the semantics oracle, 'async' runs over asynchronous "
+        "links behind an alpha synchronizer, 'sharded' steps graph "
+        "partitions in parallel — see --shards/--shard-workers, "
+        "'vectorized' runs kernel-covered phases as whole-phase numpy "
+        "array operations and falls back to batched elsewhere)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=CongestConfig().shards,
+        help="shard count for --congest-engine sharded",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=_nonnegative_int,
+        default=CongestConfig().shard_workers,
+        help="thread-pool width for the sharded engine's thread backend "
+        "(0 or 1 = serial deterministic mode)",
+    )
+    parser.add_argument(
+        "--shard-backend",
+        choices=SHARD_BACKENDS,
+        default=CongestConfig().shard_backend,
+        help="execution backend for --congest-engine sharded: 'thread' "
+        "(in-process; serial when --shard-workers <= 1), 'serial' (force "
+        "the deterministic mode), or 'process' (one worker process per "
+        "shard — true multi-core, boundary traffic in a packed wire "
+        "format)",
+    )
+    parser.add_argument(
+        "--session-mode",
+        choices=SESSION_MODES,
+        default=CongestConfig().session_mode,
+        help="execution-session lifetime across the CONGEST phases: "
+        "'per-call' (self-contained executes, the default) or "
+        "'persistent' (the sharded process backend keeps one worker pool "
+        "and one shared-memory CSR mapping alive across all phases, "
+        "re-armed between them; bit-identical results, amortised setup — "
+        "session totals are added to the run summary)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-nearclique",
@@ -79,52 +137,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default="distributed",
         help="which finder to run (algorithm variant)",
     )
-    find.add_argument(
-        "--congest-engine",
-        choices=available_engines(),
-        default=CongestConfig().engine,
-        help="CONGEST execution engine for the distributed/boosted finders "
-        "(bit-identical results; 'batched' is the fast path and the default, "
-        "'reference' the semantics oracle, 'async' runs over asynchronous "
-        "links behind an alpha synchronizer, 'sharded' steps graph "
-        "partitions in parallel — see --shards/--shard-workers, "
-        "'vectorized' runs kernel-covered phases as whole-phase numpy "
-        "array operations and falls back to batched elsewhere)",
-    )
-    find.add_argument(
-        "--shards",
-        type=_positive_int,
-        default=CongestConfig().shards,
-        help="shard count for --congest-engine sharded",
-    )
-    find.add_argument(
-        "--shard-workers",
-        type=_nonnegative_int,
-        default=CongestConfig().shard_workers,
-        help="thread-pool width for the sharded engine's thread backend "
-        "(0 or 1 = serial deterministic mode)",
-    )
-    find.add_argument(
-        "--shard-backend",
-        choices=SHARD_BACKENDS,
-        default=CongestConfig().shard_backend,
-        help="execution backend for --congest-engine sharded: 'thread' "
-        "(in-process; serial when --shard-workers <= 1), 'serial' (force "
-        "the deterministic mode), or 'process' (one worker process per "
-        "shard — true multi-core, boundary traffic in a packed wire "
-        "format)",
-    )
-    find.add_argument(
-        "--session-mode",
-        choices=SESSION_MODES,
-        default=CongestConfig().session_mode,
-        help="execution-session lifetime across the finder's CONGEST "
-        "phases: 'per-call' (self-contained executes, the default) or "
-        "'persistent' (the sharded process backend keeps one worker pool "
-        "and one shared-memory CSR mapping alive across all phases, "
-        "re-armed between them; bit-identical results, amortised setup — "
-        "session totals are added to the run summary)",
-    )
+    _add_congest_arguments(find)
     find.add_argument("--expected-sample", type=float, default=8.0, help="target E[|S|] = p*n")
     find.add_argument("--max-sample", type=int, default=13, help="Section 4.1 abort threshold on |S|")
     find.add_argument("--repetitions", type=int, default=4, help="boosting repetitions (boosted engine)")
@@ -151,6 +164,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--nodes",
         help="comma-separated node ids; default: the planted set recorded in the file",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived query daemon: JSONL requests on stdin, responses on stdout",
+    )
+    serve.add_argument(
+        "--graph",
+        help="edge-list file written by 'generate' (default: generate a planted workload)",
+    )
+    serve.add_argument("--n", type=int, default=100, help="nodes of the generated workload")
+    serve.add_argument("--delta", type=float, default=0.5, help="planted near-clique fraction")
+    serve.add_argument("--epsilon", type=float, default=0.2, help="the algorithm's epsilon")
+    serve.add_argument("--background", type=float, default=0.05, help="background edge probability")
+    _add_congest_arguments(serve)
+    serve.add_argument("--expected-sample", type=float, default=8.0, help="target E[|S|] = p*n")
+    serve.add_argument("--max-sample", type=int, default=13, help="Section 4.1 abort threshold on |S|")
+    serve.add_argument("--min-output-size", type=int, default=0)
+    serve.add_argument("--seed", type=int, default=0, help="workload-generation seed")
 
     lint = sub.add_parser(
         "lint",
@@ -285,6 +316,54 @@ def _print_session_report(session_stats) -> None:
     )
 
 
+def _cmd_serve(args) -> int:
+    # Imported here so the plain one-shot commands never pay for the
+    # service layer (and so ``--help`` stays instant).
+    from repro.service import NearCliqueDaemon, NearCliqueService
+
+    graph, _planted = _load_or_generate(args)
+    n = graph.number_of_nodes()
+    probability = min(1.0, args.expected_sample / max(1, n))
+    parameters = AlgorithmParameters(
+        epsilon=args.epsilon,
+        sample_probability=probability,
+        max_sample_size=args.max_sample,
+        min_output_size=args.min_output_size,
+    )
+    congest_config = CongestConfig(
+        engine=args.congest_engine,
+        shards=args.shards,
+        shard_workers=args.shard_workers,
+        shard_backend=args.shard_backend,
+        session_mode=args.session_mode,
+    ).with_log_budget(max(2, n))
+    service = NearCliqueService(graph, parameters, config=congest_config)
+    print(
+        "serving near-clique queries over %d nodes / %d edges "
+        "(engine=%s); one JSON request per line on stdin"
+        % (n, graph.number_of_edges(), congest_config.engine),
+        file=sys.stderr,
+    )
+    daemon = NearCliqueDaemon(service)
+    served = daemon.serve_forever()
+    stats = service.stats
+    print(
+        "served %d requests: %d queries (%d full / %d incremental / %d cached), "
+        "%d deltas, %d worker crashes survived"
+        % (
+            served,
+            stats.queries,
+            stats.full_queries,
+            stats.incremental_queries,
+            stats.cached_hits,
+            stats.deltas,
+            stats.worker_crashes,
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_generate(args) -> int:
     if args.family == "planted":
         graph, planted = generators.planted_near_clique(
@@ -347,6 +426,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "find":
         return _cmd_find(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "generate":
         return _cmd_generate(args)
     if args.command == "verify":

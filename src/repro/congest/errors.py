@@ -85,6 +85,17 @@ class RoundLimitExceeded(CongestError):
         return (type(self), (self.max_rounds,))
 
 
+class DeltaError(CongestError):
+    """A batched topology update (:meth:`Network.apply_delta`) was rejected.
+
+    Raised *before* any mutation is applied — a rejected delta leaves the
+    network exactly as it was, so service loops can report the error to the
+    client and keep serving on the unchanged topology.  Examples: an edge
+    addition naming an unknown node (the delta API changes edges, never the
+    node set), a self-loop, or a removal of an edge that does not exist.
+    """
+
+
 class ShardWorkerError(CongestError):
     """A sharded-engine worker process failed outside the model's rules.
 

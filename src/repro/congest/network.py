@@ -23,12 +23,71 @@ from __future__ import annotations
 import random
 import zlib
 from array import array
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
-from repro.congest.errors import ProtocolError
+from repro.congest.errors import DeltaError, ProtocolError
 from repro.congest.node import NodeContext
+
+
+@dataclass(frozen=True)
+class GraphDelta:
+    """A batch of edge insertions and deletions over a fixed node set.
+
+    The service layer's unit of topology change: edges come and go, nodes do
+    not (the paper's model fixes the processor set; a "new node" workload is
+    modelled by including isolated nodes up front).  Edges are undirected
+    pairs; orientation and duplicates are normalised by
+    :meth:`Network.apply_delta`, which validates the batch against the live
+    topology before touching anything.
+    """
+
+    additions: Tuple[Tuple[int, int], ...] = ()
+    removals: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def touched_nodes(self) -> frozenset:
+        """Every endpoint named by the batch."""
+        return frozenset(
+            v for edge in self.additions + self.removals for v in edge
+        )
+
+
+@dataclass(frozen=True)
+class AppliedDelta:
+    """The record of one successful :meth:`Network.apply_delta` call.
+
+    Attributes
+    ----------
+    epoch:
+        The network's :attr:`Network.delta_epoch` after this application —
+        a monotone counter execution sessions compare against their own
+        watermark to tell "mutated via the delta API" (repairable) from
+        "mutated behind the API" (fatal).
+    added / removed:
+        The *effective* edge sets, canonically oriented (``u < v``): no-op
+        entries (an addition already present, a removal already absent)
+        are dropped during normalisation.
+    touched:
+        Endpoints of the effective edges — the dirty-node seed set for
+        shard repair and incremental recomputation.
+    fingerprint_after:
+        :meth:`Network.csr_fingerprint` immediately after the rebuild; a
+        session whose live fingerprint matches the last record's value
+        knows the divergence is fully explained by the delta ledger.
+    """
+
+    epoch: int
+    added: Tuple[Tuple[int, int], ...]
+    removed: Tuple[Tuple[int, int], ...]
+    touched: frozenset = field(repr=False)
+    fingerprint_after: Tuple[int, int, int, int] = field(repr=False)
+
+    @property
+    def edges_changed(self) -> int:
+        return len(self.added) + len(self.removed)
 
 
 def _relabel_sort_key(label: Any) -> Tuple[str, str]:
@@ -62,6 +121,21 @@ class Network:
     seed:
         Seed for the network-level random source from which per-node private
         random generators are derived.
+    node_seeds:
+        Optional explicit per-node RNG seeds, keyed by node id.  A node with
+        an entry here gets ``random.Random(node_seeds[id])`` instead of a
+        seed drawn from the network RNG.  This is how the incremental
+        service replays the exact seed a node *would* have received in a
+        full run when re-executing only a sub-network: the full draw order
+        is computed once and the relevant slice injected, keeping sub-run
+        outputs bit-identical to the full run's.
+    announced_n:
+        The system size the per-node contexts announce as ``ctx.n``.
+        Defaults to the actual node count.  The CONGEST model assumes every
+        node knows the *system* size; a sub-network standing in for the
+        dirty region of a larger evolving graph must announce the full
+        system's ``n`` so identifier widths and message-bit accounting
+        match the full run exactly.
     """
 
     def __init__(
@@ -69,6 +143,8 @@ class Network:
         graph: nx.Graph,
         relabel: bool = True,
         seed: Optional[int] = None,
+        node_seeds: Optional[Dict[int, int]] = None,
+        announced_n: Optional[int] = None,
     ) -> None:
         if graph.is_directed():
             raise ValueError("the CONGEST simulator models undirected networks")
@@ -98,27 +174,44 @@ class Network:
         self._index_of: Dict[int, int] = {
             node_id: index for index, node_id in enumerate(ids)
         }
+        self._adjacency: Dict[int, Tuple[int, ...]] = {}
+        self._rebuild_csr(ids)
+        self._rng = random.Random(seed)
+        self._node_seeds: Dict[int, int] = dict(node_seeds or {})
+        self._announced_n = announced_n
+        self._contexts: Dict[int, NodeContext] = {}
+        self._ctx_epoch = 0
+        self._delta_epoch = 0
+        self._delta_log: List[AppliedDelta] = []
+
+    def _rebuild_csr(self, stale_nodes: Iterable[int]) -> None:
+        """(Re)build the flat CSR arrays; *stale_nodes* need new tuples.
+
+        At construction every node is stale.  After a delta only the
+        touched endpoints' neighbour tuples are recomputed; the indptr /
+        indices arrays are refilled in one O(n + m) pass either way —
+        that single pass *is* the amortised rebuild (cheaper than the
+        per-edge array surgery it replaces, and identical in cost to the
+        construction-time build the engines already absorb).  The CRC is
+        retaken so :meth:`csr_fingerprint` tracks the new topology.
+        """
         index_of = self._index_of
+        adjacency = self._adjacency
+        for node_id in stale_nodes:
+            adjacency[node_id] = tuple(sorted(self._graph.neighbors(node_id)))
         indptr = array("q", [0])
         indices = array("q")
-        adjacency: Dict[int, Tuple[int, ...]] = {}
-        for node_id in ids:
-            neighbors = tuple(sorted(self._graph.neighbors(node_id)))
-            adjacency[node_id] = neighbors
-            indices.extend(index_of[neighbor] for neighbor in neighbors)
+        for node_id in self._ids:
+            indices.extend(index_of[neighbor] for neighbor in adjacency[node_id])
             indptr.append(len(indices))
         self._indptr = indptr
         self._indices = indices
-        self._adjacency = adjacency
         # Checksum of the CSR arrays as built; together with the live graph
         # counts this forms the topology fingerprint (csr_fingerprint) that
         # caches and execution sessions key on.
         self._csr_crc = zlib.crc32(
             indices.tobytes(), zlib.crc32(indptr.tobytes())
         )
-        self._rng = random.Random(seed)
-        self._contexts: Dict[int, NodeContext] = {}
-        self._ctx_epoch = 0
 
     # ------------------------------------------------------------------
     # topology accessors
@@ -210,6 +303,134 @@ class Network:
         return self._graph.number_of_edges()
 
     # ------------------------------------------------------------------
+    # batched topology updates (the service layer's delta API)
+    # ------------------------------------------------------------------
+    @property
+    def delta_epoch(self) -> int:
+        """Counter bumped by every effective :meth:`apply_delta` call.
+
+        Execution sessions keep a watermark of this counter: a changed CSR
+        fingerprint whose divergence is fully explained by ledger entries
+        above the watermark is a *repairable* delta; a changed fingerprint
+        with no such entries is an external mutation and stays fatal.
+        """
+        return self._delta_epoch
+
+    def deltas_since(self, epoch: int) -> Tuple[AppliedDelta, ...]:
+        """The applied-delta records with :attr:`AppliedDelta.epoch` > *epoch*."""
+        return tuple(
+            record for record in self._delta_log if record.epoch > epoch
+        )
+
+    def _normalize_delta_edges(
+        self, edges: Iterable[Tuple[int, int]], kind: str
+    ) -> List[Tuple[int, int]]:
+        """Canonical ``(u, v)`` with ``u < v``; validates before any mutation."""
+        normalized: List[Tuple[int, int]] = []
+        seen = set()
+        for edge in edges:
+            try:
+                u, v = edge
+            except (TypeError, ValueError):
+                raise DeltaError(
+                    "delta %s entry %r is not an edge pair" % (kind, edge)
+                )
+            if u == v:
+                raise DeltaError(
+                    "delta %s entry (%r, %r) is a self-loop; processors have "
+                    "no link to themselves" % (kind, u, v)
+                )
+            for endpoint in (u, v):
+                if endpoint not in self._index_of:
+                    raise DeltaError(
+                        "delta %s entry (%r, %r) names unknown node %r; the "
+                        "delta API changes edges over the fixed node set "
+                        "(include future nodes as isolated nodes up front)"
+                        % (kind, u, v, endpoint)
+                    )
+            pair = (u, v) if u < v else (v, u)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            normalized.append(pair)
+        return sorted(normalized)
+
+    def apply_delta(
+        self,
+        additions: Iterable[Tuple[int, int]] = (),
+        removals: Iterable[Tuple[int, int]] = (),
+    ) -> AppliedDelta:
+        """Apply a batch of edge insertions/deletions and return the record.
+
+        Validation happens entirely before mutation — a raised
+        :class:`repro.congest.errors.DeltaError` leaves the network
+        untouched.  No-op entries (adding a present edge, removing an
+        absent one) are dropped; an edge named in both lists is rejected
+        as ambiguous.  On an effective change the CSR arrays are rebuilt
+        in one amortised O(n + m) pass, live contexts of touched nodes
+        have their ``neighbors`` view refreshed *in place* (state, output
+        and RNG streams are preserved — an evolving-graph service keeps
+        its nodes), the delta epoch advances and the application is
+        recorded on the ledger for sessions to reconcile against.
+
+        ``context_epoch`` is deliberately *not* bumped: contexts were
+        patched, not rebuilt, and persistent sessions detect the topology
+        change through the CSR fingerprint + delta ledger instead.
+        """
+        added = self._normalize_delta_edges(additions, "addition")
+        removed = self._normalize_delta_edges(removals, "removal")
+        overlap = set(added) & set(removed)
+        if overlap:
+            raise DeltaError(
+                "edges %s appear as both addition and removal in one delta"
+                % sorted(overlap)
+            )
+        graph = self._graph
+        added = [edge for edge in added if not graph.has_edge(*edge)]
+        removed = [edge for edge in removed if graph.has_edge(*edge)]
+        if not added and not removed:
+            return AppliedDelta(
+                epoch=self._delta_epoch,
+                added=(),
+                removed=(),
+                touched=frozenset(),
+                fingerprint_after=self.csr_fingerprint(),
+            )
+        for u, v in added:
+            graph.add_edge(u, v)
+        for u, v in removed:
+            graph.remove_edge(u, v)
+        touched = frozenset(v for edge in added + removed for v in edge)
+        self._rebuild_csr(touched)
+        for node_id in touched:
+            ctx = self._contexts.get(node_id)
+            if ctx is not None:
+                ctx.neighbors = self._adjacency[node_id]
+                # is_neighbor caches a frozenset in state; drop it so the
+                # patched view is authoritative.
+                ctx.state.pop("__neighbor_set", None)
+        self._delta_epoch += 1
+        record = AppliedDelta(
+            epoch=self._delta_epoch,
+            added=tuple(added),
+            removed=tuple(removed),
+            touched=touched,
+            fingerprint_after=self.csr_fingerprint(),
+        )
+        self._delta_log.append(record)
+        return record
+
+    def reseed(self, seed: Optional[int]) -> None:
+        """Reset the network-level RNG the per-node seeds are drawn from.
+
+        A long-lived network serving many queries calls this before each
+        fresh context build so that query *k* on topology *G* produces
+        exactly the seeds — hence exactly the outputs — of
+        ``Network(G, seed=seed)`` built from scratch.
+        """
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
     # contexts
     # ------------------------------------------------------------------
     def build_contexts(
@@ -242,12 +463,16 @@ class Network:
         self._ctx_epoch += 1
         if fresh or not self._contexts:
             self._contexts = {}
+            announced = self._announced_n if self._announced_n is not None else self.n
+            node_seeds = self._node_seeds
             for node_id in self.node_ids:
-                node_seed = self._rng.getrandbits(63)
+                node_seed = node_seeds.get(node_id)
+                if node_seed is None:
+                    node_seed = self._rng.getrandbits(63)
                 self._contexts[node_id] = NodeContext(
                     node_id=node_id,
                     neighbors=self._adjacency[node_id],
-                    n=self.n,
+                    n=announced,
                     global_inputs=global_inputs,
                     rng=random.Random(node_seed),
                 )

@@ -55,6 +55,8 @@ from repro.congest.sharding.partition import (
     cached_partition,
     invalidate_partition_cache,
     partition_network,
+    repair_plan,
+    shard_fingerprints,
 )
 from repro.congest.sharding.shm import SharedCSR
 from repro.congest.sharding.wire import WireBatch, WireDecoder, WireEncoder
@@ -73,4 +75,6 @@ __all__ = [
     "cached_partition",
     "invalidate_partition_cache",
     "partition_network",
+    "repair_plan",
+    "shard_fingerprints",
 ]

@@ -51,9 +51,11 @@ import heapq
 import math
 import random
 import weakref
+import zlib
+from array import array
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.congest.network import Network
 
@@ -121,6 +123,12 @@ class ShardPlan:
     @property
     def shard_sizes(self) -> Tuple[int, ...]:
         return tuple(len(owned) for owned in self.shards)
+
+    def repair(
+        self, network: Network, touched: Iterable[int]
+    ) -> Tuple["ShardPlan", Tuple[int, ...]]:
+        """Incremental repair after a delta; see :func:`repair_plan`."""
+        return repair_plan(network, self, touched)
 
     def describe(self) -> str:
         """One-line human-readable summary (used by the E14 benchmark)."""
@@ -196,10 +204,19 @@ def _bfs_owners(network: Network, n: int, k: int, seed: int) -> List[int]:
     return owner
 
 
-def _refine_owners(network: Network, owner: List[int], k: int) -> List[int]:
+def _refine_owners(
+    network: Network,
+    owner: List[int],
+    k: int,
+    candidates: Optional[List[int]] = None,
+) -> List[int]:
     """One greedy FM-style boundary-refinement sweep over *owner* (in place).
 
-    Candidates are the nodes with at least one neighbour in another shard.
+    Candidates default to every node with at least one neighbour in another
+    shard; a *candidates* list restricts the sweep's seed set to those
+    nodes (incremental repair seeds it with the delta-touched region), with
+    chained improvements still propagating to their neighbours as moves
+    land.
     A candidate's *gain* for moving to shard ``t`` is ``(neighbours in t) -
     (neighbours in its own shard)`` — exactly the cut-edge reduction of the
     move.  Moves are applied best-gain-first (ties to the lower node index,
@@ -245,7 +262,7 @@ def _refine_owners(network: Network, owner: List[int], k: int) -> List[int]:
         return best
 
     heap: List[Tuple[int, int, int]] = []
-    for u in range(n):
+    for u in (range(n) if candidates is None else candidates):
         home = owner[u]
         if any(owner[v] != home for v in indices[indptr[u]:indptr[u + 1]]):
             move = best_move(u)
@@ -317,6 +334,25 @@ def partition_network(
         if strategy == "bfs+refine":
             owner = _refine_owners(network, owner, shards)
 
+    return _plan_from_owner(network, owner, shards, strategy, seed)
+
+
+def _plan_from_owner(
+    network: Network,
+    owner: List[int],
+    shards: int,
+    strategy: str,
+    seed: int,
+) -> ShardPlan:
+    """Assemble a :class:`ShardPlan` from a complete owner assignment.
+
+    Shared tail of :func:`partition_network` and :func:`repair_plan`: the
+    owned lists and the cut statistics are always recomputed from the
+    *current* CSR arrays, so a repaired plan's stats describe the
+    post-delta topology.
+    """
+    _ids, indptr, indices = network.csr()
+    n = len(_ids)
     owned: Dict[int, List[int]] = {shard: [] for shard in range(shards)}
     for index in range(n):
         owned[owner[index]].append(index)
@@ -342,6 +378,69 @@ def partition_network(
         boundary_edges=tuple(boundary),
         internal_edges=internal,
     )
+
+
+def repair_plan(
+    network: Network,
+    plan: ShardPlan,
+    touched: Iterable[int],
+) -> Tuple[ShardPlan, Tuple[int, ...]]:
+    """Incrementally repair *plan* after a delta touching *touched* indices.
+
+    Instead of repartitioning from scratch, the FM-style gain sweep of
+    ``"bfs+refine"`` is re-run *locally*: seeded only with the touched
+    nodes and their current neighbours, so ownership outside the delta's
+    neighbourhood moves only when a chain of strictly-improving moves
+    reaches it (in practice: almost never, which is what keeps clean
+    shards' fingerprints stable).  The cut statistics are recomputed
+    against the post-delta CSR.
+
+    Returns ``(new_plan, dirty_shards)``.  A shard is *dirty* when it owns
+    a touched node (its adjacency rows changed — worker-held neighbour
+    views are stale) or when the sweep moved any node into or out of it;
+    every other shard's owned set and adjacency rows are unchanged, which
+    :func:`shard_fingerprints` certifies.
+
+    *touched* are dense CSR indices (node ids map via
+    :attr:`repro.congest.network.Network.node_index_of`).
+    """
+    touched = sorted(set(touched))
+    k = plan.n_shards
+    owner = list(plan.owner)
+    _ids, indptr, indices = network.csr()
+    seeds = set(touched)
+    for u in touched:
+        seeds.update(indices[indptr[u]:indptr[u + 1]])
+    if k >= 2 and seeds:
+        _refine_owners(network, owner, k, candidates=sorted(seeds))
+
+    dirty = {plan.owner[u] for u in touched}
+    for u in range(plan.n):
+        if owner[u] != plan.owner[u]:
+            dirty.add(plan.owner[u])
+            dirty.add(owner[u])
+
+    new_plan = _plan_from_owner(network, owner, k, plan.strategy, plan.seed)
+    return new_plan, tuple(sorted(dirty))
+
+
+def shard_fingerprints(network: Network, plan: ShardPlan) -> Tuple[int, ...]:
+    """Per-shard topology digests: membership plus each owned adjacency row.
+
+    ``digest[s]`` covers shard *s*'s owned index set and the CSR adjacency
+    row of every owned node, so it changes exactly when the shard gains or
+    loses a node or one of its nodes gains or loses an edge — and stays
+    bit-stable otherwise.  The incremental-service tests use this to
+    *prove* that a delta plus repair left clean shards untouched.
+    """
+    _ids, indptr, indices = network.csr()
+    digests = []
+    for owned in plan.shards:
+        crc = zlib.crc32(array("q", owned).tobytes())
+        for u in owned:
+            crc = zlib.crc32(indices[indptr[u]:indptr[u + 1]].tobytes(), crc)
+        digests.append(crc)
+    return tuple(digests)
 
 
 #: Per-network memo of computed plans, stored as ``(fingerprint, plans)``

@@ -91,6 +91,7 @@ import threading
 import time
 import weakref
 from array import array
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.congest.config import CongestConfig
@@ -111,6 +112,7 @@ from repro.congest.sharding.partition import (
     ShardPlan,
     cached_partition,
     invalidate_partition_cache,
+    repair_plan,
 )
 from repro.congest.sharding.shm import SharedCSR
 from repro.congest.sharding.wire import WireBatch, WireDecoder, WireEncoder
@@ -636,14 +638,19 @@ class _WorkerPool:
         reset: bool = True,
         global_inputs: Optional[Dict[str, Any]] = None,
         per_shard_state: Optional[Dict[int, Dict[int, Dict[str, Any]]]] = None,
+        no_reset_shards: frozenset = frozenset(),
     ) -> None:
         """Arm every worker for the next ``execute``.
 
         The first arm after a spawn passes ``reset=False`` (the inherited
         contexts are current); a session's light re-arm passes
         ``reset=True`` plus the per-call input deltas, routed per shard.
-        A failed ship — an unpicklable protocol, a dead worker — surfaces
-        as :class:`ShardWorkerError`; callers tear the pool down on it.
+        After a *partial* respawn (delta absorption) the pool is mixed:
+        surviving workers need the reset replay while the freshly spawned
+        dirty-shard workers inherited already-reset contexts — their shard
+        indices arrive in *no_reset_shards*.  A failed ship — an
+        unpicklable protocol, a dead worker — surfaces as
+        :class:`ShardWorkerError`; callers tear the pool down on it.
         """
         for handle in self.handles:
             inputs = (
@@ -651,9 +658,10 @@ class _WorkerPool:
                 if per_shard_state
                 else None
             )
+            shard_reset = reset and handle.shard_index not in no_reset_shards
             try:
                 handle.conn.send(
-                    ("arm", protocol, config, reset, global_inputs, inputs)
+                    ("arm", protocol, config, shard_reset, global_inputs, inputs)
                 )
             except Exception as exc:
                 if isinstance(exc, (BrokenPipeError, OSError)):
@@ -948,9 +956,15 @@ class ProcessSession(CongestSession):
     * any error escaping an ``execute`` — model violations, worker deaths —
       tears the pool down *immediately*; the next ``execute`` (if any)
       starts a fresh pool, and ``close`` is then a no-op for workers;
-    * a network whose CSR fingerprint changed mid-session invalidates the
-      partition memo and raises, because the plan, the mapping and the
-      worker routing tables all describe the old topology.
+    * a network whose CSR fingerprint changed mid-session is reconciled
+      against the network's delta ledger: a change fully explained by
+      :meth:`repro.congest.network.Network.apply_delta` calls is *absorbed*
+      — the shard plan is repaired incrementally around the touched nodes,
+      the shm mapping rebuilt, and only dirty shards' workers respawned at
+      the next execute — while any unexplained change (a direct graph
+      mutation behind the API) invalidates the partition memo and raises,
+      because the plan, the mapping and the worker routing tables all
+      describe a topology nobody can account for.
 
     Per-phase partials and session totals (boundary bytes, barrier rounds,
     setup seconds, shm bytes) are exposed as :attr:`stats`, a
@@ -989,6 +1003,22 @@ class ProcessSession(CongestSession):
         #: synchronised parent and worker context state; ``None`` until the
         #: first execute completes.
         self._epoch: Optional[int] = None
+        #: ``network.delta_epoch`` watermark: ledger entries above it are
+        #: deltas this session has not yet absorbed.
+        self._delta_epoch: int = network.delta_epoch
+        #: Shards whose workers must be respawned at the next execute
+        #: because an absorbed delta dirtied them (``None``: no partial
+        #: respawn pending).
+        self._dirty_shards: Optional[Tuple[int, ...]] = None
+        #: ``(touched_indices, dirty_shards)`` of the last absorbed delta,
+        #: or ``None``; regression tests and the service's stats read it.
+        self.last_repair: Optional[Tuple[Tuple[int, ...], Tuple[int, ...]]] = None
+        #: Shard indices whose worker was (re)spawned by the last execute
+        #: (empty tuple: light re-arm only) — the "recomputed only the
+        #: dirty shard" assertion the acceptance tests make.
+        self.last_respawned_shards: Tuple[int, ...] = ()
+        #: Count of deltas absorbed via incremental repair.
+        self.repairs: int = 0
 
     # ------------------------------------------------------------------
     def _check_config(self, config: CongestConfig) -> None:
@@ -1056,14 +1086,25 @@ class ProcessSession(CongestSession):
     ) -> RunResult:
         self._check_config(config)
         network = self.network
-        if network.csr_fingerprint() != self._fingerprint:
-            invalidate_partition_cache(network)
-            raise ProtocolError(
-                "the network mutated during an execution session: its CSR "
-                "fingerprint no longer matches the shard plan the session "
-                "was opened with (the partition memo has been invalidated; "
-                "open a new session on a freshly built Network)"
-            )
+        fingerprint = network.csr_fingerprint()
+        if fingerprint != self._fingerprint:
+            # Repairable iff the divergence is fully explained by deltas
+            # applied through Network.apply_delta since the session's
+            # watermark; anything else is an external structural override
+            # (a direct graph mutation behind the API) and stays fatal —
+            # the plan, the shm mapping and the worker routing tables all
+            # describe a topology nobody can account for.
+            if not self._absorb_delta(fingerprint):
+                invalidate_partition_cache(network)
+                raise ProtocolError(
+                    "the network mutated during an execution session: its CSR "
+                    "fingerprint no longer matches the shard plan the session "
+                    "was opened with, and the change is not explained by "
+                    "Network.apply_delta (the partition memo has been "
+                    "invalidated; open a new session on a freshly built "
+                    "Network, or mutate through apply_delta so the session "
+                    "can repair incrementally)"
+                )
 
         # Contexts mutated outside the session (a direct build_contexts
         # call between phases) make worker-held state stale; detect via the
@@ -1095,6 +1136,7 @@ class ProcessSession(CongestSession):
         setup_started = time.perf_counter()
         if self._pool is None or not reuse_contexts or external:
             self._teardown_pool()
+            self._dirty_shards = None
             if self.shared_csr is None:
                 self.shared_csr = SharedCSR.create(network, self.plan)
                 self.stats.shm_bytes = self.shared_csr.nbytes
@@ -1108,6 +1150,28 @@ class ProcessSession(CongestSession):
             )
             self._pool = _WorkerPool(handles)
             self._pool.rearm(protocol, config, reset=False)
+            self.last_respawned_shards = tuple(
+                handle.shard_index for handle in handles
+            )
+        elif self._dirty_shards is not None:
+            # Mid-pipeline delta absorption: only the dirty shards'
+            # workers are respawned (their contexts' neighbour views and
+            # adjacency rows changed); clean shards keep their processes
+            # and replay the usual reset re-arm.
+            dirty, self._dirty_shards = self._dirty_shards, None
+            if self.shared_csr is None:
+                self.shared_csr = SharedCSR.create(network, self.plan)
+                self.stats.shm_bytes = self.shared_csr.nbytes
+            self._respawn_shards(dirty, contexts)
+            self._pool.rearm(
+                protocol,
+                config,
+                reset=True,
+                global_inputs=global_inputs,
+                per_shard_state=self._split_inputs(per_node_inputs),
+                no_reset_shards=frozenset(dirty),
+            )
+            self.last_respawned_shards = tuple(dirty)
         else:
             self._pool.rearm(
                 protocol,
@@ -1116,6 +1180,7 @@ class ProcessSession(CongestSession):
                 global_inputs=global_inputs,
                 per_shard_state=self._split_inputs(per_node_inputs),
             )
+            self.last_respawned_shards = ()
         setup_seconds = time.perf_counter() - setup_started
 
         run = ProcessShardedRun(
@@ -1138,6 +1203,94 @@ class ProcessSession(CongestSession):
             setup_seconds,
         )
         return result
+
+    # ------------------------------------------------------------------
+    def _absorb_delta(self, fingerprint: Tuple[int, int, int, int]) -> bool:
+        """Reconcile the session with deltas applied via ``apply_delta``.
+
+        Returns True when the fingerprint change is fully explained by the
+        network's delta ledger above this session's watermark — in which
+        case the shard plan is repaired *incrementally* around the touched
+        nodes (:func:`repro.congest.sharding.partition.repair_plan`), the
+        shared-memory CSR mapping is scheduled for rebuild, and only the
+        dirty shards' workers are marked for respawn (full respawn when
+        ownership moved, since every worker's routing tables embed the
+        owner array).  Returns False — leaving the session untouched — for
+        any divergence the ledger cannot account for.
+        """
+        network = self.network
+        pending = network.deltas_since(self._delta_epoch)
+        if not pending or pending[-1].fingerprint_after != fingerprint:
+            return False
+        index_of = network.node_index_of
+        touched = tuple(
+            sorted({index_of[v] for record in pending for v in record.touched})
+        )
+        # Plans memoised for the pre-delta topology must never be served
+        # again; the repaired plan below belongs to the session, not the
+        # global memo (a fresh caller recomputes from scratch).
+        invalidate_partition_cache(network)
+        old_plan = self.plan
+        new_plan, dirty = repair_plan(network, old_plan, touched)
+        self.plan = new_plan
+        self._ordered = _ShardStepper.ranges_are_ordered(new_plan)
+        self._fingerprint = fingerprint
+        self._delta_epoch = network.delta_epoch
+        self.stats.plans.append(new_plan)
+        self.repairs += 1
+        self.last_repair = (touched, dirty)
+        # The mapping packs the CSR arrays, which just changed; drop it and
+        # let the next spawn rebuild.  Unlink is safe while clean workers
+        # stay attached — their mapping lives until they exit, and they
+        # only ever read the id/owner tables, which are unchanged whenever
+        # they are kept.
+        if self.shared_csr is not None:
+            shared, self.shared_csr = self.shared_csr, None
+            shared.destroy()
+        if self._pool is not None and new_plan.owner == old_plan.owner:
+            self._dirty_shards = dirty
+        else:
+            # Ownership moved (or no pool yet): surviving workers would
+            # hold stale owner tables, so everyone respawns.
+            self._teardown_pool()
+            self._dirty_shards = None
+        return True
+
+    def _respawn_shards(
+        self, dirty: Tuple[int, ...], contexts: Dict[int, NodeContext]
+    ) -> None:
+        """Replace the workers of *dirty* shards, keeping every other one.
+
+        Only valid when the plan's owner array is unchanged (checked by the
+        caller via :meth:`_absorb_delta`): surviving workers keep their
+        id→index and owner tables and their attachment to the retired shm
+        segment, both still accurate.  The dirty shards' new workers attach
+        the rebuilt segment and inherit the parent's (already patched and
+        reset) contexts.
+        """
+        pool = self._pool
+        dirty_set = set(dirty)
+        keep = [h for h in pool.handles if h.shard_index not in dirty_set]
+        drop = [h for h in pool.handles if h.shard_index in dirty_set]
+        _reap(drop)
+        masked = replace(
+            self.plan,
+            shards=tuple(
+                owned if shard in dirty_set else ()
+                for shard, owned in enumerate(self.plan.shards)
+            ),
+        )
+        fresh = _spawn_workers(
+            masked,
+            self._ids,
+            self.network.node_index_of,
+            self._ordered,
+            contexts,
+            shared_csr=self.shared_csr,
+        )
+        pool.handles = sorted(
+            keep + fresh, key=lambda handle: handle.shard_index
+        )
 
     # ------------------------------------------------------------------
     def _split_inputs(

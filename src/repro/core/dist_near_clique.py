@@ -26,12 +26,13 @@ argument in executable form.
 from __future__ import annotations
 
 import random
+from contextlib import ExitStack
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
 import networkx as nx
 
 from repro.congest.config import CongestConfig
-from repro.congest.engine import Engine, get_engine
+from repro.congest.engine import CongestSession, Engine, get_engine
 from repro.congest.errors import RoundLimitExceeded
 from repro.congest.metrics import RunMetrics
 from repro.congest.network import Network
@@ -132,8 +133,11 @@ class DistNearCliqueRunner:
     # ------------------------------------------------------------------
     def run(
         self,
-        graph: nx.Graph,
+        graph: Optional[nx.Graph] = None,
         sample: Optional[Iterable[int]] = None,
+        *,
+        network: Optional[Network] = None,
+        session: Optional["CongestSession"] = None,
     ) -> NearCliqueResult:
         """Execute the algorithm once.
 
@@ -147,6 +151,18 @@ class DistNearCliqueRunner:
             Optional predetermined sample S (in the graph's original labels).
             When omitted — the normal mode — every node flips its own biased
             coin in the sampling phase.
+        network:
+            An already-built :class:`~repro.congest.network.Network` to run
+            on instead of *graph* (exactly one of the two must be given).
+            The runner then performs no seeding of its own — the network's
+            RNG state as passed determines the per-node coins, which is how
+            the service layer reproduces a fresh run on a long-lived
+            network (``Network.reseed`` + inject).
+        session:
+            An open :class:`~repro.congest.engine.CongestSession` bound to
+            *network* to run every phase through.  The runner does **not**
+            close an injected session (the owner reuses it across queries);
+            without one it opens and closes its own, as before.
 
         Returns
         -------
@@ -155,7 +171,16 @@ class DistNearCliqueRunner:
             round/message metrics of the whole execution.
         """
         params = self.parameters
-        network = Network(graph, seed=self.rng.getrandbits(48))
+        if network is None:
+            if graph is None:
+                raise ValueError("provide a graph or an already-built network")
+            network = Network(graph, seed=self.rng.getrandbits(48))
+        elif graph is not None:
+            raise ValueError("provide either graph or network, not both")
+        if session is not None and session.network is not network:
+            raise ValueError(
+                "the injected session is bound to a different network"
+            )
         config = self.config or CongestConfig().with_log_budget(network.n)
         if isinstance(self.engine, Engine):
             engine_obj = self.engine
@@ -185,8 +210,13 @@ class DistNearCliqueRunner:
         # One session spans every phase: with the default per-call mode it
         # is a thin wrapper; in persistent mode the process backend's pool
         # and shared-memory CSR mapping are built once and re-armed per
-        # phase instead of respawned ~14 times.
-        with engine_obj.open_session(network, config) as session:
+        # phase instead of respawned ~14 times.  An injected session is
+        # used as-is and stays open for its owner; only a self-opened one
+        # is closed here (on every exit path, via the stack).
+        stack = ExitStack()
+        if session is None:
+            session = stack.enter_context(engine_obj.open_session(network, config))
+        with stack:
             self.last_session_stats = session.stats
 
             # --- sampling stage ---------------------------------------------

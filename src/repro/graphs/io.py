@@ -4,6 +4,10 @@ A deliberately tiny format: one ``u v`` pair per line, ``#``-prefixed
 comments, plus an optional ``# nodes: n`` header so isolated vertices
 survive a round trip.  Planted structures are stored next to the graph as a
 comment block, so a saved workload is self-describing.
+
+:func:`load_snap_edgelist` additionally reads the looser SNAP corpus
+format (tabs, duplicate orientations, self-loops, gappy ids) so real
+graphs can be fed to the finder and the service daemon.
 """
 
 from __future__ import annotations
@@ -65,6 +69,65 @@ def read_edge_list(path: str) -> Tuple[nx.Graph, Optional[FrozenSet[int]]]:
             u_text, v_text = line.split()
             graph.add_edge(int(u_text), int(v_text))
     return graph, planted
+
+
+def load_snap_edgelist(
+    path: str,
+    relabel: bool = False,
+) -> nx.Graph:
+    """Load a SNAP-style edge list (`snap.stanford.edu <https://snap.stanford.edu/data/>`_).
+
+    The SNAP corpus format is looser than :func:`read_edge_list`'s own:
+    ``#``-prefixed comment/header lines anywhere in the file, arbitrary
+    whitespace (spaces or tabs) between the two endpoint ids, blank lines,
+    self-loops (dropped — the CONGEST model has none) and duplicate edges
+    (collapsed; many SNAP files list both orientations of each edge).
+    Node ids are arbitrary non-negative integers with gaps.
+
+    Parameters
+    ----------
+    path:
+        The edge-list file.  Plain text; callers decompress ``.txt.gz``
+        downloads themselves.
+    relabel:
+        When True, relabel nodes to the dense range ``0..n-1`` in
+        ascending original-id order (what the workload generators emit and
+        the benchmark helpers expect).  The original id is kept as the
+        ``"snap_id"`` node attribute.
+
+    Raises
+    ------
+    ValueError
+        On a data line that is not two integers — with the line number,
+        so a truncated download is diagnosable.
+    """
+    graph = nx.Graph()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(
+                    "%s:%d: expected 'u v', got %r" % (path, line_number, raw)
+                )
+            try:
+                u, v = int(parts[0]), int(parts[1])
+            except ValueError:
+                raise ValueError(
+                    "%s:%d: non-integer endpoint in %r" % (path, line_number, raw)
+                ) from None
+            if u == v:
+                continue
+            graph.add_edge(u, v)
+    if relabel:
+        ordered = sorted(graph.nodes())
+        mapping = {snap_id: index for index, snap_id in enumerate(ordered)}
+        graph = nx.relabel_nodes(graph, mapping, copy=True)
+        for snap_id, index in mapping.items():
+            graph.nodes[index]["snap_id"] = snap_id
+    return graph
 
 
 def save_workload(

@@ -1,0 +1,124 @@
+"""The long-lived query daemon: a JSONL serve loop over a service.
+
+:class:`NearCliqueDaemon` reads requests line by line (stdin by default),
+dispatches them to a :class:`~repro.service.incremental.NearCliqueService`
+and writes exactly one JSON response line per request.  It is transport
+agnostic — tests drive it with ``io.StringIO`` pairs, the CLI's ``serve``
+subcommand wires it to the process's standard streams.
+
+Graceful degradation is the design centre: **no request kills the
+daemon**.  A malformed line answers ``bad-request``; a rejected delta
+answers ``bad-delta`` (the graph provably untouched — validation precedes
+mutation); a shard worker crash mid-query answers ``worker-crash``, tears
+the session down and lets the next query respawn a fresh pool against the
+unchanged cached state; anything else answers ``congest-error`` /
+``internal-error``.  Only ``shutdown`` (or EOF on the request stream)
+ends the loop.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, IO, Optional
+
+from repro.congest.errors import CongestError, DeltaError, ShardWorkerError
+
+from repro.service import protocol
+from repro.service.incremental import NearCliqueService
+
+__all__ = ["NearCliqueDaemon"]
+
+
+class NearCliqueDaemon:
+    """Serve JSONL requests against one :class:`NearCliqueService`.
+
+    Parameters
+    ----------
+    service:
+        The service instance the daemon owns; :meth:`serve_forever` closes
+        it when the loop ends.
+    reader / writer:
+        Request source and response sink (text streams).  Default to the
+        process's stdin/stdout.
+    """
+
+    def __init__(
+        self,
+        service: NearCliqueService,
+        reader: Optional[IO[str]] = None,
+        writer: Optional[IO[str]] = None,
+    ) -> None:
+        self.service = service
+        self.reader = reader if reader is not None else sys.stdin
+        self.writer = writer if writer is not None else sys.stdout
+        #: Set by a ``shutdown`` request; checked by the serve loop.
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> int:
+        """Run the serve loop until ``shutdown`` or EOF; returns #requests."""
+        served = 0
+        try:
+            for line in self.reader:
+                if not line.strip():
+                    continue
+                response = self.handle_line(line)
+                self._emit(response)
+                served += 1
+                if self._shutdown:
+                    break
+        finally:
+            self.service.close()
+        return served
+
+    def _emit(self, response: Dict[str, Any]) -> None:
+        self.writer.write(protocol.encode_response(response) + "\n")
+        self.writer.flush()
+
+    # ------------------------------------------------------------------
+    def handle_line(self, line: str) -> Dict[str, Any]:
+        """Answer one request line; never raises (the degradation contract)."""
+        try:
+            request = protocol.parse_request(line)
+        except protocol.RequestError as exc:
+            return protocol.error_response(exc.code, str(exc))
+        try:
+            return self._dispatch(request)
+        except DeltaError as exc:
+            return protocol.error_response("bad-delta", str(exc))
+        except ShardWorkerError as exc:
+            # A worker died mid-query.  The cached result and pending
+            # dirty set are untouched; drop the session so the next query
+            # respawns a fresh pool, and keep serving.
+            self.service.stats.observe_crash()
+            self.service.recover()
+            return protocol.error_response("worker-crash", str(exc))
+        except CongestError as exc:
+            return protocol.error_response("congest-error", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive backstop
+            return protocol.error_response(
+                "internal-error", "%s: %s" % (type(exc).__name__, exc)
+            )
+
+    def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        cmd = request["cmd"]
+        if cmd == "query":
+            outcome = self.service.query(seed=request.get("seed", 0))
+            return protocol.ok_response(
+                "query", **protocol.result_payload(outcome.result, outcome.record)
+            )
+        if cmd == "delta":
+            additions, removals = protocol.delta_edges(request)
+            record = self.service.apply_delta(additions, removals)
+            return protocol.ok_response(
+                "delta",
+                epoch=record.epoch,
+                added=len(record.added),
+                removed=len(record.removed),
+                touched=len(record.touched),
+            )
+        if cmd == "stats":
+            return protocol.ok_response("stats", **self.service.stats.as_dict())
+        # cmd == "shutdown" (parse_request admits nothing else)
+        self._shutdown = True
+        return protocol.ok_response("shutdown")

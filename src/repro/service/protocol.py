@@ -1,0 +1,203 @@
+"""The JSONL wire protocol of the near-clique daemon.
+
+One request per line on stdin, one response per line on stdout — the
+simplest long-lived transport that composes with shell pipelines, unit
+tests (``io.StringIO``) and process supervisors alike.
+
+Requests
+--------
+Every request is a JSON object with a ``"cmd"`` key:
+
+``{"cmd": "query", "seed": 0}``
+    Run (or reuse / repair) the near-clique computation.  ``seed`` drives
+    the per-node sampling coins and defaults to 0; repeating a seed on an
+    unchanged graph is answered from cache.
+
+``{"cmd": "delta", "add": [[u, v], ...], "remove": [[u, v], ...]}``
+    Apply a batched topology update.  Nodes are the input graph's own
+    labels.  The delta is validated *before* any mutation: a rejected
+    delta (unknown node, self-loop, edge listed on both sides) leaves the
+    graph untouched and yields a ``bad-delta`` error response.
+
+``{"cmd": "stats"}``
+    Lifetime service counters (queries by kind, deltas, crashes, …).
+
+``{"cmd": "shutdown"}``
+    Acknowledge and stop the serve loop.
+
+Responses
+---------
+``{"ok": true, "cmd": <cmd>, ...payload}`` on success, or
+``{"ok": false, "error": {"code": <code>, "message": <msg>}}`` on failure.
+Error codes: ``bad-request`` (unparseable/unknown command),
+``bad-delta`` (delta validation), ``worker-crash`` (a shard worker died
+mid-query; the daemon respawned and keeps serving), ``congest-error``
+(any other simulator-contract violation) and ``internal-error``.
+Responses are emitted with sorted keys so transcripts are reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.result import NearCliqueResult
+
+from repro.service.stats import QueryRecord
+
+#: Commands the daemon understands.
+COMMANDS: Tuple[str, ...] = ("query", "delta", "stats", "shutdown")
+
+#: Error codes a response may carry.
+ERROR_CODES: Tuple[str, ...] = (
+    "bad-request",
+    "bad-delta",
+    "worker-crash",
+    "congest-error",
+    "internal-error",
+)
+
+
+class RequestError(ValueError):
+    """A request line that violates the protocol (code ``bad-request``)."""
+
+    code = "bad-request"
+
+
+def parse_request(line: str) -> Dict[str, Any]:
+    """Parse one request line into a validated command dict.
+
+    Raises
+    ------
+    RequestError
+        If the line is not a JSON object, names no known command, or
+        carries malformed arguments.  The daemon answers these with a
+        ``bad-request`` response and keeps serving.
+    """
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise RequestError("not valid JSON: %s" % exc) from exc
+    if not isinstance(request, dict):
+        raise RequestError(
+            "a request must be a JSON object, got %s" % type(request).__name__
+        )
+    cmd = request.get("cmd")
+    if cmd not in COMMANDS:
+        raise RequestError(
+            "unknown command %r (expected one of %s)" % (cmd, ", ".join(COMMANDS))
+        )
+    if cmd == "query":
+        seed = request.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise RequestError("query seed must be an integer, got %r" % (seed,))
+    elif cmd == "delta":
+        for key in ("add", "remove"):
+            edges = request.get(key, [])
+            if not isinstance(edges, list):
+                raise RequestError("delta %r must be a list of edges" % key)
+            for edge in edges:
+                if (
+                    not isinstance(edge, (list, tuple))
+                    or len(edge) != 2
+                ):
+                    raise RequestError(
+                        "delta edges must be [u, v] pairs, got %r" % (edge,)
+                    )
+    return request
+
+
+def _edge_pairs(request: Dict[str, Any], key: str) -> List[Tuple[Any, Any]]:
+    return [(edge[0], edge[1]) for edge in request.get(key, [])]
+
+
+def delta_edges(
+    request: Dict[str, Any]
+) -> Tuple[List[Tuple[Any, Any]], List[Tuple[Any, Any]]]:
+    """The (additions, removals) edge lists of a parsed ``delta`` request."""
+    return _edge_pairs(request, "add"), _edge_pairs(request, "remove")
+
+
+# ----------------------------------------------------------------------
+# response encoding
+# ----------------------------------------------------------------------
+def encode_response(payload: Dict[str, Any]) -> str:
+    """One response line (no trailing newline), keys sorted for stability."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def ok_response(cmd: str, **payload: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True, "cmd": cmd}
+    response.update(payload)
+    return response
+
+
+def error_response(code: str, message: str) -> Dict[str, Any]:
+    if code not in ERROR_CODES:
+        code = "internal-error"
+    return {"ok": False, "error": {"code": code, "message": message}}
+
+
+def _jsonable_label(label: Any) -> Any:
+    """Graph labels are ints or strings in practice; stringify anything else."""
+    if isinstance(label, (int, str)) and not isinstance(label, bool):
+        return label
+    return repr(label)
+
+
+def _sorted_values(values: Iterable[Any]) -> List[Any]:
+    """Natural sort when the values support it, repr-sort for mixed labels."""
+    items = list(values)
+    try:
+        return sorted(items)
+    except TypeError:
+        return sorted(items, key=repr)
+
+
+def result_payload(
+    result: NearCliqueResult, record: Optional[QueryRecord] = None
+) -> Dict[str, Any]:
+    """Serialise a query answer for the ``query`` response.
+
+    ``labels`` is a list of ``[node, label-or-null]`` pairs (JSON object
+    keys must be strings, which would silently stringify integer node
+    labels); candidates carry the fields the experiments read.
+    """
+    payload: Dict[str, Any] = {
+        "aborted": result.aborted,
+        "abort_reason": result.abort_reason,
+        "sample": _sorted_values(_jsonable_label(v) for v in result.sample),
+        "labels": sorted(
+            (
+                [_jsonable_label(node), None if label is None else _jsonable_label(label)]
+                for node, label in result.labels.items()
+            ),
+            key=repr,
+        ),
+        "candidates": [
+            {
+                "component_root": _jsonable_label(c.component_root),
+                "size": c.size,
+                "survived": c.survived,
+                "members": _sorted_values(
+                    _jsonable_label(v) for v in c.members
+                ),
+            }
+            for c in result.candidates
+        ],
+    }
+    if result.metrics is not None:
+        payload["metrics"] = {
+            "rounds": result.metrics.rounds,
+            "total_messages": result.metrics.total_messages,
+            "total_bits": result.metrics.total_bits,
+            "max_message_bits": result.metrics.max_message_bits,
+        }
+    if record is not None:
+        payload["query"] = {
+            "kind": record.kind,
+            "recomputed_nodes": record.recomputed_nodes,
+            "total_nodes": record.total_nodes,
+            "dirty_shards": list(record.dirty_shards),
+        }
+    return payload

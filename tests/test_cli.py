@@ -240,3 +240,55 @@ class TestVerifyCommand:
         path = os.path.join(str(tmp_path), "plain.edges")
         io.write_edge_list(nx.path_graph(4), path)
         assert cli.main(["verify", path, "--epsilon", "0.1"]) == 2
+
+
+class TestServeCommand:
+    def _serve(self, monkeypatch, capsys, requests, argv=()):
+        import io as _io
+        import json
+        import sys
+
+        lines = "".join(json.dumps(r) + "\n" for r in requests)
+        monkeypatch.setattr(sys, "stdin", _io.StringIO(lines))
+        exit_code = cli.main(["serve", "--n", "48", "--seed", "1", *argv])
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        return exit_code, responses, captured.err
+
+    def test_serve_answers_query_delta_query_and_shuts_down(
+        self, monkeypatch, capsys
+    ):
+        exit_code, responses, err = self._serve(
+            monkeypatch,
+            capsys,
+            [
+                {"cmd": "query", "seed": 3},
+                {"cmd": "delta", "remove": [[0, 1]]},
+                {"cmd": "query", "seed": 3},
+                {"cmd": "stats"},
+                {"cmd": "shutdown"},
+            ],
+        )
+        assert exit_code == 0
+        assert [r["ok"] for r in responses] == [True] * 5
+        assert responses[0]["query"]["kind"] == "full"
+        assert responses[2]["query"]["kind"] == "incremental"
+        assert responses[3]["deltas"] == 1
+        assert "serving near-clique queries" in err
+        assert "served 5 requests" in err
+
+    def test_serve_survives_bad_requests_and_eof(self, monkeypatch, capsys):
+        import io as _io
+        import sys
+
+        monkeypatch.setattr(
+            sys, "stdin", _io.StringIO('garbage\n{"cmd": "stats"}\n')
+        )
+        exit_code = cli.main(["serve", "--n", "32", "--seed", "1"])
+        captured = capsys.readouterr()
+        import json
+
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert exit_code == 0
+        assert responses[0]["error"]["code"] == "bad-request"
+        assert responses[1]["ok"] is True

@@ -247,3 +247,63 @@ class TestIO:
             content = handle.read()
         assert "workload: pathy" in content
         assert "kind: path" in content
+
+
+class TestLoadSnapEdgelist:
+    """The looser SNAP corpus format: comments, tabs, dups, self-loops."""
+
+    SNAP_SAMPLE = (
+        "# Directed graph (each unordered pair of nodes is saved once)\n"
+        "# Nodes: 5 Edges: 4\n"
+        "# FromNodeId\tToNodeId\n"
+        "0\t3\n"
+        "3 0\n"          # duplicate, other orientation, space-separated
+        "3\t7\n"
+        "7\t7\n"         # self-loop: dropped
+        "\n"
+        "  12   7  \n"   # leading/trailing whitespace
+        "# trailing comment\n"
+        "12\t40\n"
+    )
+
+    def _write(self, tmp_path, text):
+        path = os.path.join(str(tmp_path), "snap.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return path
+
+    def test_parses_comments_whitespace_dups_and_self_loops(self, tmp_path):
+        graph = io.load_snap_edgelist(self._write(tmp_path, self.SNAP_SAMPLE))
+        assert sorted(graph.nodes()) == [0, 3, 7, 12, 40]
+        assert sorted(tuple(sorted(e)) for e in graph.edges()) == [
+            (0, 3),
+            (3, 7),
+            (7, 12),
+            (12, 40),
+        ]
+
+    def test_relabel_densifies_and_keeps_snap_ids(self, tmp_path):
+        graph = io.load_snap_edgelist(
+            self._write(tmp_path, self.SNAP_SAMPLE), relabel=True
+        )
+        assert sorted(graph.nodes()) == [0, 1, 2, 3, 4]
+        assert [graph.nodes[v]["snap_id"] for v in range(5)] == [0, 3, 7, 12, 40]
+        assert graph.has_edge(0, 1) and graph.has_edge(3, 4)
+
+    def test_malformed_line_reports_the_line_number(self, tmp_path):
+        path = self._write(tmp_path, "0\t1\n2 3 4\n")
+        with pytest.raises(ValueError, match=":2:"):
+            io.load_snap_edgelist(path)
+        path = self._write(tmp_path, "0\t1\nx y\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            io.load_snap_edgelist(path)
+
+    def test_loaded_graph_feeds_the_network(self, tmp_path):
+        from repro.congest.network import Network
+
+        graph = io.load_snap_edgelist(
+            self._write(tmp_path, self.SNAP_SAMPLE), relabel=True
+        )
+        network = Network(graph, seed=0)
+        assert network.n == 5
+        assert network.neighbors(1) == (0, 2)

@@ -1,0 +1,539 @@
+"""Tests for the service layer: deltas, incremental queries, the daemon.
+
+The load-bearing claim is bit-identity: every service answer — full,
+incremental or cached — must equal (labels, sample, candidates and
+components) a fresh ``DistNearCliqueRunner`` run on a fresh
+``Network(final_graph, seed=query_seed)``.  The incremental path earns
+its keep only because that equality is exact, so these tests compare
+against the fresh oracle everywhere, including under random delta
+sequences across engines (the property arm).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+
+import networkx as nx
+import pytest
+
+from repro.congest.config import CongestConfig
+from repro.congest.errors import DeltaError, ShardWorkerError
+from repro.congest.network import Network
+from repro.core.dist_near_clique import DistNearCliqueRunner
+from repro.core.params import AlgorithmParameters
+from repro.service import (
+    NearCliqueDaemon,
+    NearCliqueService,
+    RequestError,
+    parse_request,
+)
+from repro.service.protocol import delta_edges, error_response, result_payload
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+def _block_graph(sizes, p=0.9, seed=7) -> nx.Graph:
+    """Disjoint dense blocks on contiguous id ranges (multi-component)."""
+    rng = random.Random(seed)
+    graph = nx.Graph()
+    base = 0
+    for size in sizes:
+        members = list(range(base, base + size))
+        graph.add_nodes_from(members)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if rng.random() < p:
+                    graph.add_edge(u, v)
+        base += size
+    return graph
+
+
+PARAMS = AlgorithmParameters(epsilon=0.3, sample_probability=0.25)
+
+
+def _fresh(graph: nx.Graph, seed: int, parameters=PARAMS):
+    """The oracle: a fresh network, a fresh full run."""
+    runner = DistNearCliqueRunner(parameters=parameters)
+    return runner.run(network=Network(graph.copy(), seed=seed))
+
+
+def _assert_identical(result, oracle):
+    assert result.labels == oracle.labels
+    assert result.sample == oracle.sample
+    assert result.candidates == oracle.candidates
+    assert result.components == oracle.components
+    assert result.aborted == oracle.aborted
+
+
+# ----------------------------------------------------------------------
+# the Network delta API
+# ----------------------------------------------------------------------
+class TestNetworkDeltaAPI:
+    def test_effective_delta_updates_graph_and_ledger(self):
+        network = Network(nx.path_graph(6), seed=0)
+        record = network.apply_delta(additions=[(0, 5)], removals=[(2, 3)])
+        assert record.epoch == 1 == network.delta_epoch
+        assert record.added == ((0, 5),)
+        assert record.removed == ((2, 3),)
+        assert record.touched == frozenset({0, 2, 3, 5})
+        assert network.has_edge(0, 5) and not network.has_edge(2, 3)
+        assert network.deltas_since(0) == (record,)
+        assert network.deltas_since(1) == ()
+
+    def test_noop_entries_are_dropped_without_epoch_bump(self):
+        network = Network(nx.path_graph(4), seed=0)
+        record = network.apply_delta(additions=[(0, 1)], removals=[(0, 3)])
+        assert record.edges_changed == 0
+        assert record.touched == frozenset()
+        assert network.delta_epoch == 0
+        assert network.deltas_since(0) == ()
+
+    def test_validation_precedes_mutation(self):
+        network = Network(nx.path_graph(4), seed=0)
+        before = network.csr_fingerprint()
+        with pytest.raises(DeltaError, match="unknown"):
+            network.apply_delta(additions=[(0, 2), (0, 99)])
+        with pytest.raises(DeltaError, match="self-loop"):
+            network.apply_delta(additions=[(1, 1)])
+        with pytest.raises(DeltaError, match="both"):
+            network.apply_delta(additions=[(1, 3)], removals=[(3, 1)])
+        assert network.csr_fingerprint() == before
+        assert network.delta_epoch == 0
+
+    def test_csr_matches_a_freshly_built_network(self):
+        graph = _block_graph([8, 8])
+        network = Network(graph.copy(), seed=0)
+        network.apply_delta(additions=[(0, 9)], removals=[(0, 1)])
+        graph.add_edge(0, 9)
+        graph.remove_edge(0, 1)
+        assert network.csr_fingerprint() == Network(graph).csr_fingerprint()
+
+    def test_live_contexts_patched_in_place(self):
+        network = Network(nx.path_graph(5), seed=0)
+        contexts = network.build_contexts()
+        contexts[2].state["keep"] = "me"
+        epoch = network.context_epoch
+        network.apply_delta(removals=[(1, 2)])
+        assert contexts[2].neighbors == (3,)
+        assert contexts[1].neighbors == (0,)
+        assert contexts[2].state["keep"] == "me"
+        # patched, not rebuilt: sessions detect the change via the
+        # fingerprint + ledger, not the context epoch
+        assert network.context_epoch == epoch
+
+
+# ----------------------------------------------------------------------
+# the service: full / cached / incremental
+# ----------------------------------------------------------------------
+class TestServiceQueries:
+    def test_full_then_cached_then_incremental(self):
+        graph = _block_graph([12, 12, 12])
+        service = NearCliqueService(graph.copy(), PARAMS)
+        with service:
+            first = service.query(seed=3)
+            assert first.record.kind == "full"
+            _assert_identical(first.result, _fresh(graph, 3))
+
+            again = service.query(seed=3)
+            assert again.record.kind == "cached"
+            assert again.result is first.result
+            assert again.record.recomputed_nodes == 0
+
+            service.apply_delta(removals=[(12, 13)])
+            graph.remove_edge(12, 13)
+            after = service.query(seed=3)
+            assert after.record.kind == "incremental"
+            assert after.record.recomputed_nodes == 12
+            assert after.record.total_nodes == 36
+            _assert_identical(after.result, _fresh(graph, 3))
+
+    def test_new_seed_forces_full_recompute(self):
+        graph = _block_graph([10, 10])
+        service = NearCliqueService(graph.copy(), PARAMS)
+        with service:
+            service.query(seed=1)
+            outcome = service.query(seed=2)
+            assert outcome.record.kind == "full"
+            _assert_identical(outcome.result, _fresh(graph, 2))
+
+    def test_component_merging_addition_recomputes_both_blocks(self):
+        graph = _block_graph([10, 10, 10])
+        service = NearCliqueService(graph.copy(), PARAMS)
+        with service:
+            service.query(seed=5)
+            service.apply_delta(additions=[(0, 10)])
+            graph.add_edge(0, 10)
+            outcome = service.query(seed=5)
+            assert outcome.record.kind == "incremental"
+            # the merged component spans blocks 0 and 1; block 2 is clean
+            assert outcome.record.recomputed_nodes == 20
+            _assert_identical(outcome.result, _fresh(graph, 5))
+
+    def test_component_splitting_removal_covers_both_halves(self):
+        graph = nx.Graph()
+        graph.add_nodes_from(range(13))
+        for i in range(5):
+            for j in range(i + 1, 5):
+                graph.add_edge(i, j)
+        graph.add_edge(4, 5)  # bridge to a second half
+        for i in range(5, 9):
+            for j in range(i + 1, 9):
+                graph.add_edge(i, j)
+        for i in range(9, 13):  # clean component
+            for j in range(i + 1, 13):
+                graph.add_edge(i, j)
+        service = NearCliqueService(graph.copy(), PARAMS)
+        with service:
+            service.query(seed=2)
+            service.apply_delta(removals=[(4, 5)])
+            graph.remove_edge(4, 5)
+            outcome = service.query(seed=2)
+            assert outcome.record.kind == "incremental"
+            assert outcome.record.recomputed_nodes == 9
+            _assert_identical(outcome.result, _fresh(graph, 2))
+
+    def test_aborted_run_is_not_cached(self):
+        # probability 1 with a tiny guard: every query realises |S| = n
+        # and aborts; a repeat must re-run (full), not serve the abort.
+        graph = _block_graph([8])
+        tight = AlgorithmParameters(
+            epsilon=0.3, sample_probability=1.0, max_sample_size=3
+        )
+        service = NearCliqueService(graph.copy(), tight)
+        with service:
+            first = service.query(seed=0)
+            assert first.result.aborted
+            assert first.record.kind == "full"
+            again = service.query(seed=0)
+            assert again.record.kind == "full"
+            _assert_identical(first.result, _fresh(graph, 0, tight))
+
+    def test_incremental_abort_uses_the_global_bound(self):
+        # White-box: tighten the guard between queries so the region
+        # re-run trips it.  The spliced abort must carry the *global*
+        # bound and the merged sample — exactly what a fresh full run
+        # with the tightened parameters reports.
+        graph = _block_graph([10, 10], p=1.0)
+        loose = AlgorithmParameters(
+            epsilon=0.3, sample_probability=0.5, max_sample_size=18
+        )
+        service = NearCliqueService(graph.copy(), loose)
+        with service:
+            first = service.query(seed=4)
+            assert not first.result.aborted
+            kept_outside = len(
+                [v for v in first.result.sample if v >= 10]
+            )
+            tight = AlgorithmParameters(
+                epsilon=0.3, sample_probability=0.5, max_sample_size=kept_outside
+            )
+            service.parameters = tight
+            service._runner = DistNearCliqueRunner(
+                parameters=tight, config=service.config
+            )
+            service.apply_delta(removals=[(0, 1)])
+            graph.remove_edge(0, 1)
+            outcome = service.query(seed=4)
+            oracle = _fresh(graph, 4, tight)
+            assert oracle.aborted, "oracle should trip the tightened guard"
+            assert outcome.result.aborted
+            assert outcome.result.abort_reason == oracle.abort_reason
+            assert outcome.result.sample == oracle.sample
+
+    def test_delta_with_unknown_label_is_rejected_atomically(self):
+        service = NearCliqueService(_block_graph([6]), PARAMS)
+        with service:
+            with pytest.raises(DeltaError, match="unknown node"):
+                service.apply_delta(additions=[(0, 777)])
+            assert service.stats.deltas == 0
+            assert service.query(seed=0).record.kind == "full"
+
+    def test_stats_counters_accumulate(self):
+        graph = _block_graph([8, 8])
+        service = NearCliqueService(graph, PARAMS)
+        with service:
+            service.query(seed=0)
+            service.query(seed=0)
+            service.apply_delta(removals=[(0, 1)])
+            service.query(seed=0)
+        stats = service.stats
+        assert stats.queries == 3
+        assert stats.full_queries == 1
+        assert stats.cached_hits == 1
+        assert stats.incremental_queries == 1
+        assert stats.deltas == 1
+        assert stats.nodes_recomputed == 16 + 8
+
+    def test_sharded_record_names_only_dirty_shards(self):
+        graph = _block_graph([10, 10, 10])
+        config = (
+            CongestConfig(engine="sharded", shards=3, shard_backend="serial")
+            .with_log_budget(30)
+        )
+        service = NearCliqueService(graph, PARAMS, config=config)
+        with service:
+            full = service.query(seed=3)
+            assert full.record.dirty_shards == (0, 1, 2)
+            service.apply_delta(removals=[(22, 23)])
+            outcome = service.query(seed=3)
+            assert outcome.record.kind == "incremental"
+            assert outcome.record.dirty_shards == (2,)
+            assert outcome.record.recomputed_nodes == 10
+
+
+class TestServicePersistentSession:
+    """The service over one persistent process-backend session."""
+
+    def test_session_incremental_query_recomputes_only_dirty_shard(self):
+        graph = _block_graph([10, 10, 10])
+        config = (
+            CongestConfig(
+                engine="sharded",
+                shards=3,
+                shard_backend="process",
+                session_mode="persistent",
+            )
+            .with_log_budget(30)
+        )
+        service = NearCliqueService(graph.copy(), PARAMS, config=config)
+        with service:
+            first = service.query(seed=3)
+            assert first.record.kind == "full"
+            _assert_identical(first.result, _fresh(graph, 3))
+
+            service.apply_delta(removals=[(22, 23)])
+            graph.remove_edge(22, 23)
+            outcome = service.query(seed=3)
+            assert outcome.record.kind == "incremental"
+            assert outcome.record.dirty_shards == (2,)
+            assert outcome.record.recomputed_nodes == 10
+            _assert_identical(outcome.result, _fresh(graph, 3))
+
+            # A reseeded full query goes through the persistent session,
+            # which absorbs the pending delta by repairing its plan.
+            follow = service.query(seed=8)
+            assert follow.record.kind == "full"
+            _assert_identical(follow.result, _fresh(graph, 8))
+            assert service.session.repairs == 1
+            touched, dirty = service.session.last_repair
+            assert set(touched) == {22, 23}
+            assert dirty == (2,)
+
+
+# ----------------------------------------------------------------------
+# property arm: random delta sequences, every backend, one oracle
+# ----------------------------------------------------------------------
+def _random_delta(rng: random.Random, graph: nx.Graph, blocks):
+    """A valid random delta confined to one block (keeps locality)."""
+    base, size = blocks[rng.randrange(len(blocks))]
+    members = list(range(base, base + size))
+    present = [
+        (u, v)
+        for i, u in enumerate(members)
+        for v in members[i + 1 :]
+        if graph.has_edge(u, v)
+    ]
+    absent = [
+        (u, v)
+        for i, u in enumerate(members)
+        for v in members[i + 1 :]
+        if not graph.has_edge(u, v)
+    ]
+    removals = rng.sample(present, min(2, len(present)))
+    additions = rng.sample(absent, min(2, len(absent)))
+    return additions, removals
+
+
+SERVICE_CONFIGS = [
+    pytest.param(None, id="batched"),
+    pytest.param(
+        CongestConfig(engine="sharded", shards=3, shard_backend="serial")
+        .with_log_budget(30),
+        id="sharded-serial",
+    ),
+    pytest.param(
+        CongestConfig(
+            engine="sharded",
+            shards=3,
+            shard_backend="process",
+            session_mode="persistent",
+        ).with_log_budget(30),
+        id="session-process",
+    ),
+]
+
+
+class TestServiceDeltaProperty:
+    @pytest.mark.parametrize("config", SERVICE_CONFIGS)
+    def test_random_delta_sequence_matches_fresh_runs(self, config):
+        blocks = [(0, 10), (10, 10), (20, 10)]
+        graph = _block_graph([10, 10, 10], p=0.85, seed=11)
+        rng = random.Random(2009)
+        service = NearCliqueService(graph.copy(), PARAMS, config=config)
+        kinds = []
+        with service:
+            for step in range(4):
+                additions, removals = _random_delta(rng, graph, blocks)
+                service.apply_delta(additions, removals)
+                graph.add_edges_from(additions)
+                graph.remove_edges_from(removals)
+                seed = 3 if step < 3 else 9  # same-seed streak, then a reseed
+                outcome = service.query(seed=seed)
+                kinds.append(outcome.record.kind)
+                _assert_identical(outcome.result, _fresh(graph, seed))
+        assert "incremental" in kinds, kinds
+        assert "full" in kinds, kinds
+
+
+# ----------------------------------------------------------------------
+# the daemon
+# ----------------------------------------------------------------------
+def _drive(service, requests):
+    out = io.StringIO()
+    daemon = NearCliqueDaemon(
+        service,
+        reader=io.StringIO("".join(json.dumps(r) + "\n" for r in requests)),
+        writer=out,
+    )
+    served = daemon.serve_forever()
+    return served, [json.loads(line) for line in out.getvalue().splitlines()]
+
+
+class TestDaemon:
+    def test_transcript_query_delta_query_stats_shutdown(self):
+        graph = _block_graph([10, 10])
+        service = NearCliqueService(graph, PARAMS)
+        served, responses = _drive(
+            service,
+            [
+                {"cmd": "query", "seed": 3},
+                {"cmd": "delta", "remove": [[0, 1]]},
+                {"cmd": "query", "seed": 3},
+                {"cmd": "stats"},
+                {"cmd": "shutdown"},
+            ],
+        )
+        assert served == 5
+        assert [r["ok"] for r in responses] == [True] * 5
+        assert responses[0]["query"]["kind"] == "full"
+        assert responses[1]["removed"] == 1
+        assert responses[2]["query"]["kind"] == "incremental"
+        assert responses[2]["query"]["recomputed_nodes"] == 10
+        assert responses[3]["queries"] == 2
+        assert responses[3]["deltas"] == 1
+        # the loop closed the service's session on the way out
+        assert service.session is None or service.session.closed
+
+    def test_bad_requests_answer_typed_errors_and_keep_serving(self):
+        service = NearCliqueService(_block_graph([8]), PARAMS)
+        out = io.StringIO()
+        daemon = NearCliqueDaemon(
+            service,
+            reader=io.StringIO(
+                "not json\n"
+                '{"cmd": "wat"}\n'
+                '[1, 2]\n'
+                '{"cmd": "query", "seed": "zero"}\n'
+                '{"cmd": "delta", "add": [[1, 1]]}\n'
+                '{"cmd": "delta", "add": [[0, 99]]}\n'
+                "\n"
+                '{"cmd": "query"}\n'
+                '{"cmd": "shutdown"}\n'
+            ),
+            writer=out,
+        )
+        served = daemon.serve_forever()
+        responses = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert served == 8  # the blank line is skipped, not answered
+        codes = [
+            r["error"]["code"] for r in responses if not r["ok"]
+        ]
+        assert codes == [
+            "bad-request",
+            "bad-request",
+            "bad-request",
+            "bad-request",
+            "bad-delta",
+            "bad-delta",
+        ]
+        assert responses[-2]["ok"] and responses[-2]["cmd"] == "query"
+        assert responses[-1]["cmd"] == "shutdown"
+
+    def test_eof_without_shutdown_still_closes_the_service(self):
+        service = NearCliqueService(_block_graph([8]), PARAMS)
+        served, responses = _drive(service, [{"cmd": "query"}])
+        assert served == 1 and responses[0]["ok"]
+        assert service.session is None or service.session.closed
+
+    def test_worker_crash_answers_typed_error_and_daemon_recovers(self):
+        # The crash surface is exercised for real at the session layer
+        # (test_sharding.py::test_session_worker_crash_is_clean_error);
+        # here the first query raises the same typed error from inside
+        # the service, and the daemon must answer "worker-crash", drop
+        # the session, and serve the retry correctly.
+        graph = _block_graph([10, 10])
+        service = NearCliqueService(graph.copy(), PARAMS)
+        real_run = service._runner.run
+        crashes = {"left": 1}
+
+        def crash_once(*args, **kwargs):
+            if crashes["left"]:
+                crashes["left"] -= 1
+                raise ShardWorkerError("shard worker for shard 1 died")
+            return real_run(*args, **kwargs)
+
+        service._runner.run = crash_once
+        served, responses = _drive(
+            service,
+            [
+                {"cmd": "query", "seed": 3},
+                {"cmd": "query", "seed": 3},
+                {"cmd": "stats"},
+                {"cmd": "shutdown"},
+            ],
+        )
+        assert served == 4
+        assert responses[0]["ok"] is False
+        assert responses[0]["error"]["code"] == "worker-crash"
+        assert responses[1]["ok"] is True
+        assert responses[2]["worker_crashes"] == 1
+        assert responses[2]["recoveries"] == 1
+        # the retry's answer is still the oracle's
+        fresh = _fresh(graph, 3)
+        sample = sorted(fresh.sample)
+        assert responses[1]["sample"] == sample
+
+
+# ----------------------------------------------------------------------
+# wire-protocol units
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_parse_validates_commands_and_arguments(self):
+        assert parse_request('{"cmd": "stats"}')["cmd"] == "stats"
+        request = parse_request('{"cmd": "delta", "add": [[1, 2]]}')
+        assert delta_edges(request) == ([(1, 2)], [])
+        for bad in (
+            "nope",
+            "[]",
+            '{"cmd": "nope"}',
+            '{"cmd": "query", "seed": true}',
+            '{"cmd": "delta", "add": [[1]]}',
+            '{"cmd": "delta", "add": 7}',
+        ):
+            with pytest.raises(RequestError):
+                parse_request(bad)
+
+    def test_unknown_error_code_degrades_to_internal(self):
+        assert error_response("made-up", "x")["error"]["code"] == "internal-error"
+
+    def test_result_payload_is_json_serialisable_and_sorted(self):
+        graph = _block_graph([8])
+        result = _fresh(graph, 1)
+        payload = result_payload(result)
+        encoded = json.dumps(payload, sort_keys=True)
+        decoded = json.loads(encoded)
+        assert decoded["sample"] == sorted(result.sample)
+        assert len(decoded["labels"]) == 8

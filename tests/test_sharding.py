@@ -47,6 +47,8 @@ from repro.congest.sharding import (
     cached_partition,
     invalidate_partition_cache,
     partition_network,
+    repair_plan,
+    shard_fingerprints,
 )
 from repro.primitives.bfs_tree import KEY_PARTICIPANT, MinIdBFSTreeProtocol
 
@@ -997,6 +999,130 @@ class TestExecutionSessions:
         with get_engine("batched").open_session(network, CongestConfig()) as session:
             with pytest.raises(ValueError, match="session"):
                 run_protocol(other, _PingAll(), session=session)
+
+
+def _three_cliques() -> nx.Graph:
+    """Three 10-cliques on contiguous id ranges — one per contiguous shard."""
+    graph = nx.Graph()
+    for block in range(3):
+        members = range(block * 10, block * 10 + 10)
+        graph.add_nodes_from(members)
+        for i in members:
+            for j in members:
+                if i < j:
+                    graph.add_edge(i, j)
+    return graph
+
+
+class TestSessionDeltaAbsorption:
+    """A persistent session absorbs ``Network.apply_delta`` mutations.
+
+    The fingerprint check distinguishes two divergences: one fully
+    explained by the network's delta ledger (repair the plan, respawn
+    only the dirty shards' workers) and an external mutation behind the
+    API (still fatal, as ever).  Names carry ``session`` so CI's session
+    job runs these alongside the differential arm.
+    """
+
+    def test_session_absorbs_delta_respawning_only_dirty_shards(self):
+        network = Network(_three_cliques(), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            before = dict(session.execute(_OutputIsPid()).outputs)
+            network.apply_delta(removals=[(25, 26)])
+            after = dict(
+                session.execute(_OutputIsPid(), reuse_contexts=True).outputs
+            )
+            assert session.repairs == 1
+            touched, dirty = session.last_repair
+            assert set(touched) == {25, 26}
+            assert dirty == (2,)
+            assert session.last_respawned_shards == (2,)
+            # Clean shards kept their worker processes; the dirty shard
+            # got a fresh one.
+            for node in range(20):
+                assert before[node] == after[node], "clean worker respawned"
+            assert before[25] != after[25], "dirty worker not respawned"
+        _assert_no_worker_processes()
+
+    def test_session_absorbed_delta_outputs_match_reference(self):
+        graph = _three_cliques()
+        network = Network(graph, seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            session.execute(_PingAll())
+            network.apply_delta(additions=[(0, 15)], removals=[(21, 22)])
+            got = session.execute(_PingAll(), reuse_contexts=True).outputs
+        graph.add_edge(0, 15)
+        graph.remove_edge(21, 22)
+        fresh = Network(graph, seed=0)
+        expected = run_protocol(
+            fresh, _PingAll(), config=CongestConfig(engine="reference")
+        ).outputs
+        assert got == expected
+        _assert_no_worker_processes()
+
+    def test_session_cross_shard_delta_respawns_both_owners(self):
+        network = Network(_three_cliques(), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            before = dict(session.execute(_OutputIsPid()).outputs)
+            network.apply_delta(additions=[(5, 25)])
+            after = dict(
+                session.execute(_OutputIsPid(), reuse_contexts=True).outputs
+            )
+            assert set(session.last_respawned_shards) >= {0, 2}
+            assert 1 not in session.last_respawned_shards
+            for node in range(10, 20):
+                assert before[node] == after[node]
+        _assert_no_worker_processes()
+
+    def test_session_external_mutation_after_delta_still_raises(self):
+        # A delta followed by an out-of-band mutation: the ledger's last
+        # fingerprint no longer matches the live CSR, so the divergence is
+        # not explained and the session must refuse, not "repair".
+        network = Network(_three_cliques(), seed=0)
+        session, _config = _open_process_session(network)
+        with session:
+            session.execute(_PingAll())
+            network.apply_delta(removals=[(3, 4)])
+            network.graph.add_edge(0, 15)
+            with pytest.raises(ProtocolError, match="mutated"):
+                session.execute(_PingAll(), reuse_contexts=True)
+            _assert_no_worker_processes()
+        _assert_no_worker_processes()
+
+    def test_session_repaired_plan_keeps_invariants_and_fingerprints(self):
+        network = Network(_three_cliques(), seed=0)
+        plan = partition_network(network, 3)
+        before = shard_fingerprints(network, plan)
+        network.apply_delta(removals=[(25, 26)])
+        repaired, dirty = repair_plan(network, plan, {25, 26})
+        _check_plan_invariants(repaired, network)
+        assert dirty == (2,)
+        after = shard_fingerprints(network, repaired)
+        assert before[0] == after[0] and before[1] == after[1]
+        assert before[2] != after[2]
+
+    def test_session_serial_sharded_recomputes_after_delta(self):
+        # The per-call sharded engine has no pool to repair; it must simply
+        # not serve a stale memoised plan after a delta.
+        graph = _three_cliques()
+        network = Network(graph, seed=0)
+        config = CongestConfig(engine="sharded").with_sharding(
+            shards=3, backend="serial"
+        )
+        first = run_protocol(network, _PingAll(), config=config).outputs
+        network.apply_delta(additions=[(0, 15)])
+        second = run_protocol(network, _PingAll(), config=config).outputs
+        graph.add_edge(0, 15)
+        expected = run_protocol(
+            Network(graph, seed=0),
+            _PingAll(),
+            config=CongestConfig(engine="reference"),
+        ).outputs
+        assert second == expected
+        assert first != second
 
 
 class TestShardingStatsAccounting:
