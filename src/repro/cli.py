@@ -42,7 +42,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import tables
-from repro.congest.config import SESSION_MODES, CongestConfig
+from repro.congest.config import SESSION_MODES, CongestConfig, RetryPolicy
 from repro.congest.engine import available_engines
 from repro.congest.sharding import SHARD_BACKENDS
 from repro.core import near_clique
@@ -65,6 +65,13 @@ def _nonnegative_int(text: str) -> int:
     value = int(text)
     if value < 0:
         raise argparse.ArgumentTypeError("must be non-negative, got %s" % text)
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be positive, got %s" % text)
     return value
 
 
@@ -115,6 +122,25 @@ def _add_congest_arguments(parser: argparse.ArgumentParser) -> None:
         "and one shared-memory CSR mapping alive across all phases, "
         "re-armed between them; bit-identical results, amortised setup — "
         "session totals are added to the run summary)",
+    )
+    parser.add_argument(
+        "--round-timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="barrier-watchdog deadline for the sharded process backend: a "
+        "worker that misses a per-round barrier by this many seconds is "
+        "declared hung and the phase fails fast with a typed timeout "
+        "instead of blocking forever (default: no deadline)",
+    )
+    parser.add_argument(
+        "--retry-attempts",
+        type=_nonnegative_int,
+        default=0,
+        help="supervised-retry budget for shard-worker failures: replay "
+        "the failing phase on a fresh pool up to this many times, then "
+        "degrade to the serial sharded backend (bit-identical either "
+        "way); 0 disables supervision and failures propagate (default)",
     )
 
 
@@ -191,6 +217,13 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _retry_policy_from_args(args) -> Optional[RetryPolicy]:
+    """``--retry-attempts 0`` (the default) means unsupervised: no policy."""
+    if not args.retry_attempts:
+        return None
+    return RetryPolicy(max_attempts=args.retry_attempts)
+
+
 def _load_or_generate(args) -> tuple:
     if args.graph:
         graph, planted = io.read_edge_list(args.graph)
@@ -222,6 +255,8 @@ def _cmd_find(args) -> int:
         shard_workers=args.shard_workers,
         shard_backend=args.shard_backend,
         session_mode=args.session_mode,
+        round_timeout=args.round_timeout,
+        retry_policy=_retry_policy_from_args(args),
     ).with_log_budget(max(2, n))
     session_stats = []
     if args.engine == "distributed":
@@ -311,6 +346,16 @@ def _print_session_report(session_stats) -> None:
         ["cross-shard msg fraction", round(cross / max(1, messages), 3)],
         ["shm bytes mapped", sum(stats.shm_bytes for stats in session_stats)],
     ]
+    failures = sum(stats.worker_failures for stats in session_stats)
+    if failures:
+        rows.extend(
+            [
+                ["worker failures", failures],
+                ["worker timeouts", sum(s.timeouts for s in session_stats)],
+                ["phases retried", sum(s.retries for s in session_stats)],
+                ["degradations", sum(s.degradations for s in session_stats)],
+            ]
+        )
     tables.print_table(
         ["measure", "value"], rows, title="Execution-session report"
     )
@@ -336,6 +381,8 @@ def _cmd_serve(args) -> int:
         shard_workers=args.shard_workers,
         shard_backend=args.shard_backend,
         session_mode=args.session_mode,
+        round_timeout=args.round_timeout,
+        retry_policy=_retry_policy_from_args(args),
     ).with_log_budget(max(2, n))
     service = NearCliqueService(graph, parameters, config=congest_config)
     print(
@@ -361,6 +408,13 @@ def _cmd_serve(args) -> int:
         ),
         file=sys.stderr,
     )
+    if stats.retries or stats.worker_timeouts or stats.degradations:
+        print(
+            "fault supervision: %d phases retried, %d worker timeouts, "
+            "%d degradations to the serial backend"
+            % (stats.retries, stats.worker_timeouts, stats.degradations),
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 #: Session lifetimes accepted by ``CongestConfig.session_mode``.
 #:
@@ -27,6 +27,66 @@ from typing import Optional, Tuple
 #:     treat ``"persistent"`` as ``"per-call"``.  Outputs and protocol
 #:     metrics are bit-identical in either mode, by the engine contract.
 SESSION_MODES: Tuple[str, ...] = ("per-call", "persistent")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Supervised-retry policy for persistent process sessions.
+
+    When an ``execute`` of a :class:`~repro.congest.sharding.workers.ProcessSession`
+    dies with a :class:`~repro.congest.errors.ShardWorkerError` (a crashed,
+    hung or corrupt-wire worker — infrastructure failures, never model-rule
+    violations), the session respawns the pool and **replays the phase from
+    its pre-phase context snapshot**.  Replay is provably safe: the parent's
+    contexts are only folded after *every* worker reported, so a failed
+    phase left them bit-identical to its start, and the engine contract
+    makes the replay deterministic.  Defined here (not in the sharding
+    package) so :class:`CongestConfig` can carry a policy without an import
+    cycle.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total attempts per phase, the first one included (``2`` = one
+        retry).  Must be at least 1.
+    backoff_seconds / backoff_multiplier:
+        Deterministic delay before retry *k* (1-based):
+        ``backoff_seconds * backoff_multiplier ** (k - 1)``.  The default
+        0.0 retries immediately — respawning a pool is already a pause.
+    degrade:
+        After exhausting the attempts, complete the phase (and every later
+        one of the session) on the serial in-process sharded backend
+        instead of raising — slower, but bit-identical by the engine
+        contract, and immune to worker-process failures.  ``False`` lets
+        the final error escape.
+    """
+
+    max_attempts: int = 2
+    backoff_seconds: float = 0.0
+    backoff_multiplier: float = 2.0
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                "max_attempts must be >= 1 (got %d); 1 means no retry, "
+                "only the optional degradation" % self.max_attempts
+            )
+        if self.backoff_seconds < 0:
+            raise ValueError(
+                "backoff_seconds must be >= 0, got %r" % (self.backoff_seconds,)
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                "backoff_multiplier must be >= 1, got %r"
+                % (self.backoff_multiplier,)
+            )
+
+    def delay_before(self, attempt: int) -> float:
+        """Deterministic backoff before retry *attempt* (1-based)."""
+        if attempt <= 0 or self.backoff_seconds <= 0:
+            return 0.0
+        return self.backoff_seconds * self.backoff_multiplier ** (attempt - 1)
 
 
 @dataclass
@@ -113,6 +173,39 @@ class CongestConfig:
         :class:`~repro.congest.engine.CongestSession`, re-arming workers
         between executes instead of respawning them.  Bit-identical either
         way; purely a setup-amortisation knob.
+    round_timeout:
+        Per-round barrier deadline in seconds for the sharded engine's
+        ``"process"`` backend.  ``None`` (the default) keeps the original
+        blocking barrier: a worker that hangs in protocol code is
+        indistinguishable from a slow round and is waited on forever.
+        A positive value arms a coordinator-side watchdog
+        (``multiprocessing.connection.wait`` instead of blocking ``recv``):
+        a worker missing the deadline raises
+        :class:`~repro.congest.errors.ShardWorkerTimeout` — with a
+        liveness probe distinguishing hung from silently-dead workers —
+        instead of blocking the barrier.  In-process backends have no
+        cross-process barrier to time out; there the knob only bounds
+        *simulated* hang faults (see ``fault_plan``).
+    worker_join_timeout:
+        Seconds a process-backend worker gets to exit after its pipe is
+        closed before pool teardown escalates to ``terminate``.  A healthy
+        worker exits on the EOF immediately; only one stuck in protocol
+        code ever waits this long (and a teardown forced by a watchdog
+        timeout terminates straight away, skipping the wait).  Must be
+        positive.
+    retry_policy:
+        Optional :class:`RetryPolicy` enabling supervised retry (and, by
+        default, graceful degradation to the serial sharded backend) for
+        persistent process sessions.  ``None`` (the default) keeps the
+        original fail-fast semantics: any worker failure aborts the
+        ``execute``.
+    fault_plan:
+        Optional :class:`repro.congest.sharding.faults.FaultPlan` injecting
+        deterministic failures into the sharded execution stack — worker
+        crash/hang/pipe-EOF at named points, corrupted wire batches.
+        Testing machinery: ``None`` (always the default outside tests)
+        injects nothing and costs nothing.  Typed loosely to keep this
+        module import-cycle-free; validated structurally at construction.
     """
 
     max_rounds: Optional[int] = None
@@ -126,6 +219,10 @@ class CongestConfig:
     shard_strategy: str = "contiguous"
     shard_backend: str = "thread"
     session_mode: str = "per-call"
+    round_timeout: Optional[float] = None
+    worker_join_timeout: float = 5.0
+    retry_policy: Optional[RetryPolicy] = None
+    fault_plan: Optional[Any] = None
 
     def __post_init__(self) -> None:
         # ``engine`` / ``shard_backend`` / ``shard_strategy`` are validated
@@ -156,6 +253,39 @@ class CongestConfig:
                 "shard_workers must be >= 0 (got %d); 0 or 1 selects the "
                 "serial deterministic mode, >= 2 a thread pool"
                 % self.shard_workers
+            )
+        # The fault-tolerance knobs fail at construction for the same
+        # reason as the session mode above: all of them are consumed deep
+        # inside a phase execute, where a bad value would otherwise
+        # surface mid-pipeline (or worse, silently disable the watchdog).
+        if self.round_timeout is not None and not self.round_timeout > 0:
+            raise ValueError(
+                "round_timeout must be positive or None (got %r); None "
+                "disables the barrier watchdog" % (self.round_timeout,)
+            )
+        if not self.worker_join_timeout > 0:
+            raise ValueError(
+                "worker_join_timeout must be positive (got %r); a "
+                "non-positive grace period would terminate healthy workers "
+                "before their EOF exit" % (self.worker_join_timeout,)
+            )
+        if self.retry_policy is not None and not isinstance(
+            self.retry_policy, RetryPolicy
+        ):
+            raise ValueError(
+                "retry_policy must be a RetryPolicy or None, got %r"
+                % (self.retry_policy,)
+            )
+        if self.fault_plan is not None and not (
+            hasattr(self.fault_plan, "specs")
+            and hasattr(self.fault_plan, "for_attempt")
+        ):
+            # Structural check instead of an isinstance: importing the
+            # sharding package here would create a cycle (it imports this
+            # module for the config type).
+            raise ValueError(
+                "fault_plan must be a repro.congest.sharding.faults."
+                "FaultPlan or None, got %r" % (self.fault_plan,)
             )
 
     def with_log_budget(self, n: int) -> "CongestConfig":

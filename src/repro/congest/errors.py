@@ -103,12 +103,73 @@ class ShardWorkerError(CongestError):
     protocol-level error (segfault, ``os._exit``, unpicklable exception) —
     death is detected as EOF on the worker's pipe, so the round barrier
     errors out instead of waiting on a corpse.  A worker that is alive but
-    stuck in protocol code is indistinguishable from a slow round and is
-    not timed out (an infinite ``on_round`` hangs every backend alike; use
-    ``CongestConfig.max_rounds`` to bound runs).  Model-rule violations
-    inside a worker are *not* wrapped: they cross the process boundary as
-    their own types (:class:`CongestionViolation`,
-    :class:`MessageSizeViolation`, :class:`ProtocolError`...), exactly as
-    the in-process modes raise them.
+    stuck in protocol code is indistinguishable from a legitimately slow
+    round, so by default it is not timed out (an infinite ``on_round``
+    hangs every backend alike; use ``CongestConfig.max_rounds`` to bound
+    runs); opting into ``CongestConfig.round_timeout`` arms a barrier
+    watchdog that turns a worker missing the per-round deadline into the
+    :class:`ShardWorkerTimeout` subclass instead of an eternal hang.
+    Model-rule violations inside a worker are *not* wrapped: they cross
+    the process boundary as their own types
+    (:class:`CongestionViolation`, :class:`MessageSizeViolation`,
+    :class:`ProtocolError`...), exactly as the in-process modes raise
+    them.  Every ``ShardWorkerError`` (subclasses included) marks an
+    infrastructure failure, not a semantic one — the phase's inputs are
+    intact, so a supervised retry
+    (``CongestConfig.retry_policy``) may deterministically replay it.
     """
+
+
+class ShardWorkerTimeout(ShardWorkerError):
+    """A shard worker missed the coordinator's per-round barrier deadline.
+
+    Raised only when ``CongestConfig.round_timeout`` is set: the barrier
+    then waits with :func:`multiprocessing.connection.wait` instead of a
+    blocking ``recv`` and, at the deadline, probes each missing worker's
+    liveness — ``alive_shards`` names the shards whose process still runs
+    (hung in protocol code), the rest died without even an EOF reaching
+    the coordinator yet.  The error is an infrastructure failure like its
+    base class, so retry policies treat the two uniformly; hung workers
+    are force-terminated at teardown rather than waited on.
+    """
+
+    def __init__(self, shard_indices, timeout, alive_shards=()):
+        shard_indices = tuple(shard_indices)
+        alive_shards = tuple(alive_shards)
+        dead = tuple(s for s in shard_indices if s not in set(alive_shards))
+        detail = []
+        if alive_shards:
+            detail.append("stuck (alive): %s" % (list(alive_shards),))
+        if dead:
+            detail.append("dead: %s" % (list(dead),))
+        super().__init__(
+            "shard worker(s) %s missed the %.6gs round deadline (%s)"
+            % (list(shard_indices), timeout, "; ".join(detail) or "no detail")
+        )
+        self.shard_indices = shard_indices
+        self.timeout = timeout
+        self.alive_shards = alive_shards
+
+    def __reduce__(self):
+        return (type(self), (self.shard_indices, self.timeout, self.alive_shards))
+
+
+class WireCorruptionError(ShardWorkerError):
+    """A packed :class:`~repro.congest.sharding.wire.WireBatch` failed to decode.
+
+    Raised by :meth:`repro.congest.sharding.wire.WireDecoder.decode` when a
+    batch's columns or payload blob are structurally invalid (unknown
+    payload tag, truncated varint, out-of-range kind id...).  A corrupt
+    batch means the transport delivered damaged bytes, not that the
+    protocol misbehaved, so this is a :class:`ShardWorkerError` subclass:
+    it crosses the worker pipe intact and a supervised retry may replay
+    the phase on a fresh pool (whose wire codecs restart in sync).
+    """
+
+    def __init__(self, detail):
+        super().__init__("corrupt wire batch: %s" % (detail,))
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.detail,))
 

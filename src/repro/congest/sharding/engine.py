@@ -97,6 +97,7 @@ from repro.congest.message import Inbound
 from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.network import Network
 from repro.congest.node import NodeContext, Protocol
+from repro.congest.sharding.faults import SimulatedFaults
 from repro.congest.sharding.partition import (
     ShardPlan,
     cached_partition,
@@ -234,6 +235,26 @@ class SessionPhaseStats:
     setup_seconds: float
 
 
+@dataclass
+class RecoveryEvent:
+    """One worker failure a supervised session observed, and its outcome.
+
+    ``action`` is what the retry loop decided: ``"retry"`` (the phase was
+    replayed on a fresh pool), ``"degrade"`` (attempts exhausted, the
+    session fell back to the serial sharded backend) or ``"abort"`` (no
+    policy, or a policy with ``degrade=False`` out of attempts — the error
+    escaped to the caller).  ``attempt`` is the 0-based attempt that
+    failed; ``timed_out`` marks failures surfaced by the barrier watchdog
+    (:class:`repro.congest.errors.ShardWorkerTimeout`).
+    """
+
+    phase: str
+    error: str
+    action: str
+    attempt: int
+    timed_out: bool
+
+
 class ShardingStats:
     """Cross-shard traffic accounting for one or more sharded executions.
 
@@ -261,6 +282,16 @@ class ShardingStats:
     phases:
         Per-``execute`` partials (:class:`SessionPhaseStats`), appended by
         sessions in phase order; the counters above are the session totals.
+    worker_failures / timeouts / retries / degradations / recovery_events:
+        The fault-tolerance ledger, populated by supervised persistent
+        sessions via :meth:`observe_recovery`: every observed worker
+        failure (``worker_failures``), how many were barrier-watchdog
+        timeouts (``timeouts``), and how many led to a phase replay
+        (``retries``) or to the session degrading to the serial backend
+        (``degradations``).  ``recovery_events`` keeps the full
+        per-failure :class:`RecoveryEvent` records in observation order —
+        the service layer harvests them into its own
+        :class:`repro.service.stats.ServiceStats` ledger.
     """
 
     def __init__(self) -> None:
@@ -271,6 +302,11 @@ class ShardingStats:
         self.barrier_rounds = 0
         self.setup_seconds = 0.0
         self.shm_bytes = 0
+        self.worker_failures = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.degradations = 0
+        self.recovery_events: List[RecoveryEvent] = []
         self.plans: List[ShardPlan] = []
         self.phases: List[SessionPhaseStats] = []
 
@@ -348,6 +384,17 @@ class ShardingStats:
                 setup_seconds=setup_seconds,
             )
         )
+
+    def observe_recovery(self, event: RecoveryEvent) -> None:
+        """Record one worker failure and the supervisor's decision."""
+        self.worker_failures += 1
+        if event.timed_out:
+            self.timeouts += 1
+        if event.action == "retry":
+            self.retries += 1
+        elif event.action == "degrade":
+            self.degradations += 1
+        self.recovery_events.append(event)
 
 
 class _ShardStepper:
@@ -716,6 +763,21 @@ class _ShardedRun(_ShardStepper):
         protocol = self.protocol
         ctx_list = self.ctx_list
         metrics = RunMetrics()
+        # Simulated fault injection (chaos matrix on the in-process
+        # backends): only a plan that explicitly opted in via
+        # ``simulate=True`` is honoured here, so a process-backend plan
+        # carried by a config that degraded to serial does not re-inject
+        # the fault it is recovering from.  ``fault_plan=None`` — the
+        # default everywhere outside tests — costs nothing.
+        plan_faults = getattr(config, "fault_plan", None)
+        faults = None
+        if plan_faults is not None and getattr(plan_faults, "simulate", False):
+            faults = SimulatedFaults(
+                plan_faults,
+                [shard.index for shard in self.shards if shard.owned],
+                config.round_timeout,
+                protocol.name,
+            )
         with ExitStack() as stack:
             if self.pool_width >= 2:
                 # The pool lives exactly as long as this execute call; the
@@ -727,6 +789,9 @@ class _ShardedRun(_ShardStepper):
                         thread_name_prefix="repro-shard",
                     )
                 )
+            if faults is not None:
+                faults.check("arm")
+                faults.check("start")
             startup_metrics = RoundMetrics(round_index=0)
             in_flight = self._barrier(
                 self._run_shards(self.start_shard, work_hint=len(ctx_list)),
@@ -758,6 +823,8 @@ class _ShardedRun(_ShardStepper):
                     break
 
                 rounds += 1
+                if faults is not None:
+                    faults.check("round", rounds)
                 round_metrics = RoundMetrics(round_index=rounds)
                 if rounds == 1:
                     merge_startup_metrics(round_metrics, startup_metrics)
@@ -776,6 +843,8 @@ class _ShardedRun(_ShardStepper):
                     round_metrics,
                 )
                 metrics.absorb_round(round_metrics, config.record_round_metrics)
+            if faults is not None:
+                faults.check("finish")
         self.pool = None
 
         # Halted nodes were skipped by the frontier; align their round

@@ -55,6 +55,7 @@ import struct
 from array import array
 from typing import Dict, List, NamedTuple, Sequence, Tuple
 
+from repro.congest.errors import WireCorruptionError
 from repro.congest.message import Inbound, Message
 
 __all__ = [
@@ -279,12 +280,28 @@ class WireDecoder:
         blob = batch.payloads
         offset = 0
         table: List[Inbound] = []
-        for sender, kind_id, bits in zip(batch.senders, batch.kind_ids, batch.bits):
-            payload, offset = decode_payload(blob, offset)
-            table.append(
-                Inbound(
-                    sender=sender,
-                    message=Message(kind=kinds[kind_id], payload=payload, bits=bits),
+        try:
+            for sender, kind_id, bits in zip(
+                batch.senders, batch.kind_ids, batch.bits
+            ):
+                payload, offset = decode_payload(blob, offset)
+                table.append(
+                    Inbound(
+                        sender=sender,
+                        message=Message(
+                            kind=kinds[kind_id], payload=payload, bits=bits
+                        ),
+                    )
                 )
-            )
-        return list(batch.receivers), [table[ref] for ref in batch.message_refs]
+            return list(batch.receivers), [
+                table[ref] for ref in batch.message_refs
+            ]
+        except (ValueError, IndexError, KeyError, struct.error, UnicodeDecodeError) as exc:
+            # Structural damage (unknown tag, truncated varint/blob,
+            # out-of-range kind or table reference) is a transport failure,
+            # not a protocol error — surface it as the retryable
+            # infrastructure type.  Note the table extension above already
+            # happened; a corrupt batch aborts the worker, and a supervised
+            # retry replays on a *fresh* pool whose codecs restart in sync,
+            # so the desynchronized decoder is never reused.
+            raise WireCorruptionError(str(exc) or type(exc).__name__) from exc

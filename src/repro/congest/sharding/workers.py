@@ -56,17 +56,43 @@ re-raised by the coordinator with its original type.  A worker that dies
 without reporting — hard crash, ``os._exit``, unpicklable exception — is
 detected at the next ``recv`` (the pipe returns EOF) and surfaces as
 :class:`repro.congest.errors.ShardWorkerError` instead of leaving the
-barrier waiting on a corpse; a worker that is alive but stuck in protocol
-code is deliberately *not* timed out, because it is indistinguishable from
-a legitimately slow round (see the ``ShardWorkerError`` docstring).
-Workers are daemonic and the pools context-managed: closing a pool closes
-the pipes (unblocking any worker still waiting on a command) and joins,
-escalating to ``terminate`` only for processes that ignore the EOF.  The
-teardown guarantee is *per lifetime*: an ``execute`` call never leaks
-per-execute workers, and a session never leaks its pool or its
-shared-memory segment past ``close`` — including violation and
+barrier waiting on a corpse.  A worker that is alive but stuck in
+protocol code is indistinguishable from a legitimately slow round, so by
+default it is *not* timed out (see the ``ShardWorkerError`` docstring);
+``CongestConfig.round_timeout`` opts into a coordinator-side **barrier
+watchdog** — every barrier then collects reports through
+``multiprocessing.connection.wait`` against one per-round deadline, and
+a worker missing it raises
+:class:`repro.congest.errors.ShardWorkerTimeout` carrying a liveness
+probe of the missing workers (hung vs silently dead).  Workers are
+daemonic and the pools context-managed: closing a pool closes the pipes
+(unblocking any worker still waiting on a command) and joins, escalating
+to ``terminate`` only for processes that ignore the EOF within
+``CongestConfig.worker_join_timeout`` seconds — except after a watchdog
+timeout, where still-alive workers are known-stuck and terminated
+straight away.  The teardown guarantee is *per lifetime*: an ``execute``
+call never leaks per-execute workers, and a session never leaks its pool
+or its shared-memory segment past ``close`` — including violation and
 worker-crash paths, where the session tears the pool down immediately
 rather than waiting for the context exit.
+
+Supervised retry and degradation
+--------------------------------
+A persistent :class:`ProcessSession` given a
+``CongestConfig.retry_policy`` supervises its executes: a
+:class:`~repro.congest.errors.ShardWorkerError` (timeouts included) no
+longer aborts the phase — the session tears the pool down, respawns it
+fresh and **replays the phase from the parent's contexts**, which are
+bit-identical to the phase's start because the harvest below folds
+worker state back only after *every* worker reported.  After exhausting
+``max_attempts`` the session (by default) *degrades*: the phase — and
+every later phase of the session — completes on the serial in-process
+sharded backend, bit-identical by the engine contract and immune to
+worker-process failures.  Every failure and the supervisor's decision is
+recorded as a
+:class:`~repro.congest.sharding.engine.RecoveryEvent` on the session's
+stats.  Deterministic fault injection for all of these paths lives in
+:mod:`repro.congest.sharding.faults` (``CongestConfig.fault_plan``).
 
 State round trip
 ----------------
@@ -96,11 +122,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.congest.config import CongestConfig
 from repro.congest.engine import CongestSession, RunResult
-from repro.congest.errors import ProtocolError, ShardWorkerError
+from repro.congest.errors import (
+    ProtocolError,
+    ShardWorkerError,
+    ShardWorkerTimeout,
+)
 from repro.congest.metrics import RoundMetrics, RunMetrics
 from repro.congest.network import Network
 from repro.congest.node import NodeContext, Protocol
 from repro.congest.sharding.engine import (
+    RecoveryEvent,
     ShardingStats,
     _ShardedRun,
     _ShardState,
@@ -108,6 +139,7 @@ from repro.congest.sharding.engine import (
     coordinator_should_stop,
     merge_startup_metrics,
 )
+from repro.congest.sharding.faults import FaultInjector
 from repro.congest.sharding.partition import (
     ShardPlan,
     cached_partition,
@@ -119,9 +151,11 @@ from repro.congest.sharding.wire import WireBatch, WireDecoder, WireEncoder
 
 __all__ = ["ProcessSession", "ProcessShardedRun"]
 
-#: Seconds a worker gets to exit after its pipe is closed before the pool
-#: escalates to ``terminate``.  Generous: a healthy worker exits on EOF
-#: immediately; only a worker stuck in protocol code ever waits this long.
+#: Default seconds a worker gets to exit after its pipe is closed before
+#: the pool escalates to ``terminate``.  Generous: a healthy worker exits
+#: on EOF immediately; only a worker stuck in protocol code ever waits
+#: this long.  Configurable per run via ``CongestConfig.worker_join_timeout``
+#: (this constant is its default value).
 _JOIN_TIMEOUT = 5.0
 
 #: Parent-side pipe ends of every live worker of every pool in this
@@ -266,6 +300,10 @@ class _WorkerHarness:
         self.decoders: Dict[int, WireDecoder] = {}
         self.stepper: Optional[_ShardStepper] = None
         self.shard: Optional[_ShardState] = None
+        #: Deterministic fault injection (``CongestConfig.fault_plan``),
+        #: rebuilt lazily at arm time; ``None`` whenever the armed config
+        #: carries no plan — the universal production case.
+        self.injector: Optional[FaultInjector] = None
 
     # ------------------------------------------------------------------
     def arm(
@@ -305,6 +343,17 @@ class _WorkerHarness:
             inbox_buffers=self.inbox_buffers,
         )
         self.shard = _ShardState(self.shard_index, self.owned, self.n_shards)
+        plan = getattr(config, "fault_plan", None)
+        if plan is None:
+            self.injector = None
+        else:
+            # Keep the injector (and with it the fired set) across light
+            # re-arms of the *same* plan, so a phase-bound spec cannot
+            # re-fire when its phase is re-armed on this worker; a changed
+            # plan (a retry re-threading the attempt cursor) rebuilds.
+            if self.injector is None or self.injector.plan != plan:
+                self.injector = FaultInjector(plan, self.shard_index)
+            self.injector.begin_phase(protocol.name)
 
     # ------------------------------------------------------------------
     def _report(self, rm: RoundMetrics) -> Tuple:
@@ -351,7 +400,10 @@ class _WorkerHarness:
         self, rounds: int, incoming: Sequence[Tuple[int, WireBatch]]
     ) -> Tuple:
         shard = self.shard
+        injector = self.injector
         for source, batch in incoming:
+            if injector is not None:
+                batch = injector.corrupt_batch(batch, rounds)
             decoder = self.decoders.get(source)
             if decoder is None:
                 decoder = self.decoders[source] = WireDecoder()
@@ -447,12 +499,21 @@ def _worker_main(conn, init: Dict[str, Any], inherited_peers=()) -> None:
                     harness.arm(
                         command[1], command[2], command[3], command[4], command[5]
                     )
+                    if harness.injector is not None and harness.injector.fire("arm"):
+                        break  # injected eof: close the pipe and exit
                     continue  # no response: the coordinator pipelines start
+                injector = harness.injector
                 if op == "start":
+                    if injector is not None and injector.fire("start"):
+                        break
                     response = harness.start()
                 elif op == "round":
+                    if injector is not None and injector.fire("round", command[1]):
+                        break
                     response = harness.step(command[1], command[2])
                 elif op == "finish":
+                    if injector is not None and injector.fire("finish"):
+                        break
                     # Report and stay armed-able: a session's next execute
                     # re-arms this same process.
                     response = harness.finish(command[1])
@@ -481,19 +542,32 @@ class _WorkerHandle:
         self.conn = conn
 
 
-def _reap(handles: List[_WorkerHandle]) -> None:
+def _reap(
+    handles: List[_WorkerHandle],
+    join_timeout: Optional[float] = None,
+    force: bool = False,
+) -> None:
     """Tear down workers: close pipes, join, escalate to terminate.
 
     Closing the pipe first unblocks any worker waiting in ``recv`` (it
-    exits on the EOF); a worker that ignores the EOF past the join timeout
-    is terminated.  ``Process.close`` releases the fds eagerly rather than
-    at garbage collection, which keeps ``active_children()`` truthful —
-    the leak regressions in ``tests/test_sharding.py`` rely on it.
+    exits on the EOF); a worker that ignores the EOF past *join_timeout*
+    (``CongestConfig.worker_join_timeout``; ``None`` keeps the 5 s
+    default) is terminated.  *force* skips the grace period for workers
+    already known to be stuck — the barrier watchdog's teardown path,
+    where waiting the join timeout on a worker that just missed a round
+    deadline would only stack delays.  ``Process.close`` releases the fds
+    eagerly rather than at garbage collection, which keeps
+    ``active_children()`` truthful — the leak regressions in
+    ``tests/test_sharding.py`` rely on it.
     """
+    if join_timeout is None:
+        join_timeout = _JOIN_TIMEOUT
     for handle in handles:
         _close_and_unregister_parent_conn(handle.conn)
     for handle in handles:
-        handle.process.join(timeout=_JOIN_TIMEOUT)
+        if force and handle.process.is_alive():
+            handle.process.terminate()
+        handle.process.join(timeout=join_timeout)
         if handle.process.is_alive():  # pragma: no cover - stuck worker
             handle.process.terminate()
             handle.process.join()
@@ -626,8 +700,13 @@ class _WorkerPool:
     the same teardown guarantee at session scope.
     """
 
-    def __init__(self, handles: List[_WorkerHandle]) -> None:
+    def __init__(
+        self,
+        handles: List[_WorkerHandle],
+        join_timeout: float = _JOIN_TIMEOUT,
+    ) -> None:
         self.handles = handles
+        self.join_timeout = join_timeout
         self.closed = False
 
     # ------------------------------------------------------------------
@@ -673,18 +752,23 @@ class _WorkerPool:
                 ) from exc
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
-        """Reap every worker (idempotent)."""
+    def close(self, force: bool = False) -> None:
+        """Reap every worker (idempotent).
+
+        *force* skips the EOF grace period and terminates still-alive
+        workers straight away — used after a barrier-watchdog timeout,
+        when an alive worker is known-stuck, not merely slow to exit.
+        """
         if self.closed:
             return
         self.closed = True
-        _reap(self.handles)
+        _reap(self.handles, self.join_timeout, force=force)
 
     def __enter__(self) -> "_WorkerPool":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.close()
+        self.close(force=isinstance(exc, ShardWorkerTimeout))
 
 
 class ProcessShardedRun:
@@ -795,6 +879,49 @@ class ProcessShardedRun:
             )
         return message
 
+    @staticmethod
+    def _raise_timeout(
+        pending: Sequence[_WorkerHandle], timeout: float
+    ) -> None:
+        """Missed deadline: probe the stragglers' liveness and raise."""
+        shard_indices = sorted(h.shard_index for h in pending)
+        alive = sorted(
+            h.shard_index for h in pending if h.process.is_alive()
+        )
+        raise ShardWorkerTimeout(shard_indices, timeout, alive_shards=alive)
+
+    def _collect(self, handles: List[_WorkerHandle]) -> List[Tuple]:
+        """One report per handle, in handle order — the barrier's recv side.
+
+        Without ``CongestConfig.round_timeout`` this is the original
+        blocking loop (zero overhead on the watchdog-free path).  With a
+        timeout set, reports are gathered through
+        ``multiprocessing.connection.wait`` against one deadline for the
+        whole barrier; workers still missing at the deadline surface as
+        :class:`ShardWorkerTimeout` with a liveness probe (hung vs dead).
+        Either way, error reports and EOFs raise from :meth:`_recv` with
+        their documented types.
+        """
+        timeout = self.config.round_timeout
+        if timeout is None:
+            return [self._recv(handle) for handle in handles]
+        deadline = time.monotonic() + timeout
+        pending = {handle.conn: handle for handle in handles}
+        collected: Dict[int, Tuple] = {}
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._raise_timeout(list(pending.values()), timeout)
+            ready = multiprocessing.connection.wait(
+                list(pending), timeout=remaining
+            )
+            if not ready:
+                self._raise_timeout(list(pending.values()), timeout)
+            for conn in ready:
+                handle = pending.pop(conn)
+                collected[handle.shard_index] = self._recv(handle)
+        return [collected[handle.shard_index] for handle in handles]
+
     def _barrier(
         self,
         handles: List[_WorkerHandle],
@@ -812,8 +939,8 @@ class ProcessShardedRun:
         in_flight = 0
         open_nodes = 0
         barrier_bytes = 0
-        for handle in handles:
-            _op, packed, pending_local, shard_open, batches = self._recv(handle)
+        for handle, message in zip(handles, self._collect(handles)):
+            _op, packed, pending_local, shard_open, batches = message
             messages_sent, bits_sent, max_bits, edges_used, active = packed
             into.messages_sent += messages_sent
             into.bits_sent += bits_sent
@@ -847,7 +974,7 @@ class ProcessShardedRun:
             self.ordered_delivery,
             self.contexts,
         )
-        with _WorkerPool(handles) as pool:
+        with _WorkerPool(handles, self.config.worker_join_timeout) as pool:
             pool.rearm(self.protocol, self.config, reset=False)
             self.setup_seconds = time.perf_counter() - started
             return self._drive(pool.handles)
@@ -902,12 +1029,18 @@ class ProcessShardedRun:
 
         # Harvest: outputs plus the mutable context state, folded back
         # into the parent's context objects so composite pipelines
-        # (reuse_contexts=True) chain across engines transparently.
+        # (reuse_contexts=True) chain across engines transparently.  The
+        # fold is transactional: every report is received (through the
+        # watchdog-aware _collect) *before* any worker state touches the
+        # parent's contexts, so a worker failing at finish leaves them
+        # bit-identical to the phase start — the invariant that makes a
+        # supervised retry's replay safe.
         merged_outputs: Dict[int, Any] = {}
         for handle in handles:
             self._send(handle, ("finish", rounds))
-        for handle in handles:
-            _op, outputs, states, traffic = self._recv(handle)
+        reports = self._collect(handles)
+        for report in reports:
+            _op, outputs, states, traffic = report
             merged_outputs.update(outputs)
             self._traffic.append(traffic)
             for node_id, packed_state in states.items():
@@ -1019,6 +1152,11 @@ class ProcessSession(CongestSession):
         self.last_respawned_shards: Tuple[int, ...] = ()
         #: Count of deltas absorbed via incremental repair.
         self.repairs: int = 0
+        #: True once supervised retry exhausted its attempts and the
+        #: session fell back to the serial in-process sharded backend —
+        #: sticky for the rest of the session (the condition that killed
+        #: the pool repeatedly is not expected to clear between phases).
+        self._degraded: bool = False
 
     # ------------------------------------------------------------------
     def _check_config(self, config: CongestConfig) -> None:
@@ -1042,10 +1180,10 @@ class ProcessSession(CongestSession):
                 )
             )
 
-    def _teardown_pool(self) -> None:
+    def _teardown_pool(self, force: bool = False) -> None:
         if self._pool is not None:
             pool, self._pool = self._pool, None
-            pool.close()
+            pool.close(force=force)
 
     # ------------------------------------------------------------------
     def execute(
@@ -1072,8 +1210,11 @@ class ProcessSession(CongestSession):
                 per_node_inputs,
                 reuse_contexts,
             )
-        except BaseException:
-            self._teardown_pool()
+        except BaseException as exc:
+            # A watchdog timeout marks still-alive workers as known-stuck:
+            # terminate them immediately instead of granting the EOF grace
+            # period they would sit out anyway.
+            self._teardown_pool(force=isinstance(exc, ShardWorkerTimeout))
             raise
 
     def _execute(
@@ -1116,23 +1257,117 @@ class ProcessSession(CongestSession):
             fresh=not reuse_contexts,
         )
 
-        if not any(self.plan.shards):
-            # Empty network: nothing to keep a pool for; mirror the
-            # engine's serial fallback.
-            run = _ShardedRun(
-                network=network,
-                protocol=protocol,
-                config=config,
-                contexts=contexts,
-                plan=self.plan,
-                workers=0,
-            )
-            result = run.run()
-            self._epoch = network.context_epoch
-            total, cross = run.traffic_totals()
-            self.stats.observe_phase(protocol.name, total, cross, 0, 0, 0.0)
-            return result
+        if self._degraded or not any(self.plan.shards):
+            # Serial fallback: an empty network has nothing to keep a pool
+            # for, and a degraded session has proven it cannot keep one.
+            return self._run_serial(protocol, config, contexts)
 
+        # Supervised retry: each attempt runs the phase on a pool; a
+        # ShardWorkerError (timeouts included) with a retry_policy set
+        # tears the pool down and *replays the phase* — the fingerprint /
+        # delta / epoch reconciliation and build_contexts above ran once,
+        # and the parent's contexts are bit-identical to the phase start
+        # because the harvest folds worker state back only after every
+        # worker reported.  The respawned pool re-ships those pristine
+        # contexts (reset=False path), so the replay is deterministic by
+        # the engine contract.  Wire-codec interning state is per pool,
+        # so a retry must always respawn the *whole* pool: a partial
+        # respawn would desynchronize surviving encoders from fresh
+        # decoders.
+        plan_faults = config.fault_plan
+        attempt = 0
+        while True:
+            attempt_config = config
+            if plan_faults is not None and plan_faults.attempt != attempt:
+                attempt_config = replace(
+                    config, fault_plan=plan_faults.for_attempt(attempt)
+                )
+            try:
+                return self._execute_on_pool(
+                    protocol,
+                    attempt_config,
+                    global_inputs,
+                    per_node_inputs,
+                    reuse_contexts,
+                    external,
+                    contexts,
+                )
+            except ShardWorkerError as exc:
+                timed_out = isinstance(exc, ShardWorkerTimeout)
+                self._teardown_pool(force=timed_out)
+                policy = config.retry_policy
+                if policy is None:
+                    raise
+                if attempt + 1 < policy.max_attempts:
+                    action = "retry"
+                elif policy.degrade:
+                    action = "degrade"
+                else:
+                    action = "abort"
+                self.stats.observe_recovery(
+                    RecoveryEvent(
+                        phase=protocol.name,
+                        error="%s: %s" % (type(exc).__name__, exc),
+                        action=action,
+                        attempt=attempt,
+                        timed_out=timed_out,
+                    )
+                )
+                if action == "abort":
+                    raise
+                if action == "degrade":
+                    self._degraded = True
+                    if self.shared_csr is not None:
+                        shared, self.shared_csr = self.shared_csr, None
+                        shared.destroy()
+                    return self._run_serial(protocol, config, contexts)
+                attempt += 1
+                delay = policy.delay_before(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+
+    def _run_serial(
+        self,
+        protocol: Protocol,
+        config: CongestConfig,
+        contexts: Dict[int, NodeContext],
+    ) -> RunResult:
+        """Complete one phase on the serial in-process sharded backend.
+
+        The degradation target (and the empty-network path): bit-identical
+        to the pool by the engine contract, immune to worker-process
+        failures.  Any fault plan is stripped — the plan describes
+        *worker* faults, and re-simulating the failure the session just
+        degraded away from would defeat the ladder's whole point.
+        """
+        if getattr(config, "fault_plan", None) is not None:
+            config = replace(config, fault_plan=None)
+        run = _ShardedRun(
+            network=self.network,
+            protocol=protocol,
+            config=config,
+            contexts=contexts,
+            plan=self.plan,
+            workers=0,
+        )
+        result = run.run()
+        self._epoch = self.network.context_epoch
+        total, cross = run.traffic_totals()
+        self.stats.observe_phase(protocol.name, total, cross, 0, 0, 0.0)
+        return result
+
+    def _execute_on_pool(
+        self,
+        protocol: Protocol,
+        config: CongestConfig,
+        global_inputs: Optional[Dict[str, Any]],
+        per_node_inputs: Optional[Dict[int, Dict[str, Any]]],
+        reuse_contexts: bool,
+        external: bool,
+        contexts: Dict[int, NodeContext],
+    ) -> RunResult:
+        """One attempt of one phase on the (spawned or re-armed) pool."""
+        network = self.network
         setup_started = time.perf_counter()
         if self._pool is None or not reuse_contexts or external:
             self._teardown_pool()
@@ -1148,7 +1383,7 @@ class ProcessSession(CongestSession):
                 contexts,
                 shared_csr=self.shared_csr,
             )
-            self._pool = _WorkerPool(handles)
+            self._pool = _WorkerPool(handles, config.worker_join_timeout)
             self._pool.rearm(protocol, config, reset=False)
             self.last_respawned_shards = tuple(
                 handle.shard_index for handle in handles
@@ -1272,7 +1507,7 @@ class ProcessSession(CongestSession):
         dirty_set = set(dirty)
         keep = [h for h in pool.handles if h.shard_index not in dirty_set]
         drop = [h for h in pool.handles if h.shard_index in dirty_set]
-        _reap(drop)
+        _reap(drop, pool.join_timeout)
         masked = replace(
             self.plan,
             shards=tuple(

@@ -7,13 +7,15 @@ agnostic — tests drive it with ``io.StringIO`` pairs, the CLI's ``serve``
 subcommand wires it to the process's standard streams.
 
 Graceful degradation is the design centre: **no request kills the
-daemon**.  A malformed line answers ``bad-request``; a rejected delta
-answers ``bad-delta`` (the graph provably untouched — validation precedes
-mutation); a shard worker crash mid-query answers ``worker-crash``, tears
-the session down and lets the next query respawn a fresh pool against the
-unchanged cached state; anything else answers ``congest-error`` /
-``internal-error``.  Only ``shutdown`` (or EOF on the request stream)
-ends the loop.
+daemon**.  A malformed line answers ``bad-request`` — as does a line
+longer than ``max_line_length``, which is drained and rejected in bounded
+memory instead of buffered whole; a rejected delta answers ``bad-delta``
+(the graph provably untouched — validation precedes mutation); a shard
+worker crash mid-query answers ``worker-crash``, a barrier-watchdog
+timeout ``worker-timeout`` — both tear the session down and let the next
+query respawn a fresh pool against the unchanged cached state; anything
+else answers ``congest-error`` / ``internal-error``.  Only ``shutdown``
+(or EOF on the request stream) ends the loop.
 """
 
 from __future__ import annotations
@@ -21,7 +23,12 @@ from __future__ import annotations
 import sys
 from typing import Any, Dict, IO, Optional
 
-from repro.congest.errors import CongestError, DeltaError, ShardWorkerError
+from repro.congest.errors import (
+    CongestError,
+    DeltaError,
+    ShardWorkerError,
+    ShardWorkerTimeout,
+)
 
 from repro.service import protocol
 from repro.service.incremental import NearCliqueService
@@ -40,6 +47,14 @@ class NearCliqueDaemon:
     reader / writer:
         Request source and response sink (text streams).  Default to the
         process's stdin/stdout.
+    max_line_length:
+        Upper bound, in characters, on one request line (default 1 MiB —
+        generous for the protocol's biggest legitimate request, a bulk
+        delta).  An unbounded ``readline`` would buffer an arbitrarily
+        long line wholly in memory before the parser ever saw it; the
+        serve loop instead reads at most this many characters, drains the
+        remainder of an oversized line chunk-by-chunk, and answers a
+        typed ``bad-request``.
     """
 
     def __init__(
@@ -47,19 +62,52 @@ class NearCliqueDaemon:
         service: NearCliqueService,
         reader: Optional[IO[str]] = None,
         writer: Optional[IO[str]] = None,
+        max_line_length: int = 1 << 20,
     ) -> None:
+        if max_line_length < 1:
+            raise ValueError(
+                "max_line_length must be positive, got %r" % (max_line_length,)
+            )
         self.service = service
         self.reader = reader if reader is not None else sys.stdin
         self.writer = writer if writer is not None else sys.stdout
+        self.max_line_length = max_line_length
         #: Set by a ``shutdown`` request; checked by the serve loop.
         self._shutdown = False
 
     # ------------------------------------------------------------------
+    def _drain_oversized_line(self) -> None:
+        """Consume the rest of an oversized line in bounded chunks."""
+        while True:
+            chunk = self.reader.readline(self.max_line_length)
+            if not chunk or chunk.endswith("\n"):
+                return
+
     def serve_forever(self) -> int:
         """Run the serve loop until ``shutdown`` or EOF; returns #requests."""
         served = 0
+        limit = self.max_line_length
         try:
-            for line in self.reader:
+            while True:
+                # ``readline(limit + 1)``: a line of exactly ``limit``
+                # characters plus its newline still arrives intact; only a
+                # strictly longer one comes back truncated (no trailing
+                # newline before EOF would look the same, but then the
+                # drain below is a no-op and the verdict unchanged).
+                line = self.reader.readline(limit + 1)
+                if not line:
+                    break  # EOF
+                if len(line) > limit and not line.endswith("\n"):
+                    self._drain_oversized_line()
+                    self._emit(
+                        protocol.error_response(
+                            "bad-request",
+                            "request line exceeds the %d-character limit"
+                            % limit,
+                        )
+                    )
+                    served += 1
+                    continue
                 if not line.strip():
                     continue
                 response = self.handle_line(line)
@@ -86,6 +134,14 @@ class NearCliqueDaemon:
             return self._dispatch(request)
         except DeltaError as exc:
             return protocol.error_response("bad-delta", str(exc))
+        except ShardWorkerTimeout as exc:
+            # The barrier watchdog gave up on a hung worker and the
+            # session's retry budget (if any) is spent.  Same recovery
+            # story as a crash — drop the session, keep the cached state —
+            # but the response names the distinct failure mode.
+            self.service.stats.observe_timeout()
+            self.service.recover()
+            return protocol.error_response("worker-timeout", str(exc))
         except ShardWorkerError as exc:
             # A worker died mid-query.  The cached result and pending
             # dirty set are untouched; drop the session so the next query

@@ -118,6 +118,10 @@ class NearCliqueService:
         self._cached_seed: Optional[int] = None
         self._dirty_ids: Set[int] = set()
         self.stats = ServiceStats()
+        #: How many of the live session's recovery events have already been
+        #: folded into :attr:`stats` (events below it are counted; see
+        #: :meth:`_harvest_recovery`).
+        self._recovery_watermark = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -142,12 +146,33 @@ class NearCliqueService:
         any output was published) and pending dirty nodes are retained, so
         the retry repeats exactly the interrupted work on a fresh pool.
         """
+        # Harvest before closing: a supervised session may have recorded
+        # retries on earlier phases of the very query whose final failure
+        # brought us here.
+        self._harvest_recovery()
         self.close()
         self.stats.observe_recovery()
+
+    def _harvest_recovery(self) -> None:
+        """Fold the session's new recovery events into the service stats.
+
+        Supervised sessions (``CongestConfig.retry_policy``) record every
+        worker failure and its outcome on their own stats; the watermark
+        makes each event count exactly once across the many queries one
+        session serves.
+        """
+        session = self._session
+        events = getattr(getattr(session, "stats", None), "recovery_events", None)
+        if not events:
+            return
+        for event in events[self._recovery_watermark:]:
+            self.stats.observe_recovery_event(event)
+        self._recovery_watermark = len(events)
 
     def _ensure_session(self) -> CongestSession:
         if self._session is None or self._session.closed:
             self._session = self._engine.open_session(self.network, self.config)
+            self._recovery_watermark = 0
         return self._session
 
     @property
@@ -225,6 +250,7 @@ class NearCliqueService:
         self._cached_seed = seed
         self._dirty_ids.clear()
         self.stats.observe_query(record)
+        self._harvest_recovery()
         return QueryOutcome(result, record)
 
     def _full_query(self, seed: int) -> QueryOutcome:

@@ -29,9 +29,11 @@ Responses
 ---------
 ``{"ok": true, "cmd": <cmd>, ...payload}`` on success, or
 ``{"ok": false, "error": {"code": <code>, "message": <msg>}}`` on failure.
-Error codes: ``bad-request`` (unparseable/unknown command),
-``bad-delta`` (delta validation), ``worker-crash`` (a shard worker died
-mid-query; the daemon respawned and keeps serving), ``congest-error``
+Error codes: ``bad-request`` (unparseable/unknown command, or a request
+line exceeding the daemon's length bound), ``bad-delta`` (delta
+validation), ``worker-crash`` (a shard worker died mid-query; the daemon
+respawned and keeps serving), ``worker-timeout`` (the barrier watchdog
+gave up on a hung worker; same recovery as a crash), ``congest-error``
 (any other simulator-contract violation) and ``internal-error``.
 Responses are emitted with sorted keys so transcripts are reproducible.
 """
@@ -53,6 +55,7 @@ ERROR_CODES: Tuple[str, ...] = (
     "bad-request",
     "bad-delta",
     "worker-crash",
+    "worker-timeout",
     "congest-error",
     "internal-error",
 )
