@@ -42,7 +42,12 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.analysis import tables
-from repro.congest.config import SESSION_MODES, CongestConfig, RetryPolicy
+from repro.congest.config import (
+    PIPELINE_MODES,
+    SESSION_MODES,
+    CongestConfig,
+    RetryPolicy,
+)
 from repro.congest.engine import available_engines
 from repro.congest.sharding import SHARD_BACKENDS
 from repro.core import near_clique
@@ -124,6 +129,16 @@ def _add_congest_arguments(parser: argparse.ArgumentParser) -> None:
         "session totals are added to the run summary)",
     )
     parser.add_argument(
+        "--pipeline-mode",
+        choices=PIPELINE_MODES,
+        default=CongestConfig().pipeline_mode,
+        help="phase-graph pipeline compiler mode: 'off' (per-phase "
+        "execution, the default) or 'fuse' (adjacent declared phases run "
+        "as one fused group — one worker re-arm and one context fold-back "
+        "per group on the persistent process backend; bit-identical "
+        "outputs, rounds and per-phase metrics either way)",
+    )
+    parser.add_argument(
         "--round-timeout",
         type=_positive_float,
         default=None,
@@ -153,6 +168,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     find = sub.add_parser("find", help="run the near-clique finder on a workload")
     find.add_argument("--graph", help="edge-list file written by 'generate' (default: generate a planted workload)")
+    find.add_argument(
+        "--graph-file",
+        help="SNAP-style edge list (snap.stanford.edu corpus format: '#' "
+        "comments, whitespace-separated pairs, duplicate edges and "
+        "self-loops tolerated); nodes are relabelled to the dense range "
+        "0..n-1.  Mutually exclusive with --graph.",
+    )
     find.add_argument("--n", type=int, default=100, help="nodes of the generated workload")
     find.add_argument("--delta", type=float, default=0.5, help="planted near-clique fraction")
     find.add_argument("--epsilon", type=float, default=0.2, help="the algorithm's epsilon")
@@ -199,6 +221,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--graph",
         help="edge-list file written by 'generate' (default: generate a planted workload)",
     )
+    serve.add_argument(
+        "--graph-file",
+        help="SNAP-style edge list (snap.stanford.edu corpus format); "
+        "nodes are relabelled to the dense range 0..n-1.  Mutually "
+        "exclusive with --graph.",
+    )
     serve.add_argument("--n", type=int, default=100, help="nodes of the generated workload")
     serve.add_argument("--delta", type=float, default=0.5, help="planted near-clique fraction")
     serve.add_argument("--epsilon", type=float, default=0.2, help="the algorithm's epsilon")
@@ -225,6 +253,12 @@ def _retry_policy_from_args(args) -> Optional[RetryPolicy]:
 
 
 def _load_or_generate(args) -> tuple:
+    graph_file = getattr(args, "graph_file", None)
+    if args.graph and graph_file:
+        raise SystemExit("--graph and --graph-file are mutually exclusive")
+    if graph_file:
+        # Real-world corpus input: no planted ground truth to score against.
+        return io.load_snap_edgelist(graph_file, relabel=True), None
     if args.graph:
         graph, planted = io.read_edge_list(args.graph)
         return graph, planted
@@ -255,6 +289,7 @@ def _cmd_find(args) -> int:
         shard_workers=args.shard_workers,
         shard_backend=args.shard_backend,
         session_mode=args.session_mode,
+        pipeline_mode=args.pipeline_mode,
         round_timeout=args.round_timeout,
         retry_policy=_retry_policy_from_args(args),
     ).with_log_budget(max(2, n))
@@ -346,6 +381,12 @@ def _print_session_report(session_stats) -> None:
         ["cross-shard msg fraction", round(cross / max(1, messages), 3)],
         ["shm bytes mapped", sum(stats.shm_bytes for stats in session_stats)],
     ]
+    rearms = sum(getattr(stats, "rearms", 0) for stats in session_stats)
+    fused = sum(getattr(stats, "fused_phases", 0) for stats in session_stats)
+    if rearms:
+        rows.append(["pool re-arms", rearms])
+    if fused:
+        rows.append(["re-arms elided by fusion", fused])
     failures = sum(stats.worker_failures for stats in session_stats)
     if failures:
         rows.extend(
@@ -381,6 +422,7 @@ def _cmd_serve(args) -> int:
         shard_workers=args.shard_workers,
         shard_backend=args.shard_backend,
         session_mode=args.session_mode,
+        pipeline_mode=args.pipeline_mode,
         round_timeout=args.round_timeout,
         retry_policy=_retry_policy_from_args(args),
     ).with_log_budget(max(2, n))

@@ -28,6 +28,22 @@ from typing import Any, Optional, Tuple
 #:     metrics are bit-identical in either mode, by the engine contract.
 SESSION_MODES: Tuple[str, ...] = ("per-call", "persistent")
 
+#: Pipeline planning modes accepted by ``CongestConfig.pipeline_mode``.
+#:
+#: ``"off"`` (the default)
+#:     Composite runners execute their phase sequence strictly one phase per
+#:     session ``execute``, exactly as before.
+#: ``"fuse"``
+#:     Composite runners compile the sequence with
+#:     :func:`repro.congest.pipeline.compile_pipeline` and execute fused
+#:     groups of adjacent effect-declared phases through
+#:     ``CongestSession.execute_fused`` — one arm, one context fold-back and
+#:     one barrier stream per group on backends that support it (the
+#:     persistent process session; every other session runs the group as a
+#:     sequential loop).  Outputs, round counts and per-phase-labeled
+#:     metrics are bit-identical in either mode, by the engine contract.
+PIPELINE_MODES: Tuple[str, ...] = ("off", "fuse")
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
@@ -173,6 +189,17 @@ class CongestConfig:
         :class:`~repro.congest.engine.CongestSession`, re-arming workers
         between executes instead of respawning them.  Bit-identical either
         way; purely a setup-amortisation knob.
+    pipeline_mode:
+        Planning mode of the phase-graph pipeline compiler for composite
+        runners — one of :data:`PIPELINE_MODES`.  ``"off"`` (the default)
+        runs the composite phase sequence one phase per ``execute``;
+        ``"fuse"`` compiles the sequence
+        (:func:`repro.congest.pipeline.compile_pipeline`) and executes
+        fused groups of adjacent effect-declared phases through one
+        ``execute_fused`` each — eliding the per-phase re-arm and context
+        fold-back on the persistent process backend.  Purely a
+        coordination-cost knob: outputs, round counts and per-phase metrics
+        traces are bit-identical in either mode.
     round_timeout:
         Per-round barrier deadline in seconds for the sharded engine's
         ``"process"`` backend.  ``None`` (the default) keeps the original
@@ -219,6 +246,7 @@ class CongestConfig:
     shard_strategy: str = "contiguous"
     shard_backend: str = "thread"
     session_mode: str = "per-call"
+    pipeline_mode: str = "off"
     round_timeout: Optional[float] = None
     worker_join_timeout: float = 5.0
     retry_policy: Optional[RetryPolicy] = None
@@ -236,6 +264,11 @@ class CongestConfig:
             raise ValueError(
                 "unknown session mode %r; available modes: %s"
                 % (self.session_mode, ", ".join(SESSION_MODES))
+            )
+        if self.pipeline_mode not in PIPELINE_MODES:
+            raise ValueError(
+                "unknown pipeline mode %r; available modes: %s"
+                % (self.pipeline_mode, ", ".join(PIPELINE_MODES))
             )
         # The sharding knobs share that history: ``shards=0`` used to
         # produce an empty plan that only blew up once the partitioner ran.
@@ -314,6 +347,15 @@ class CongestConfig:
         session is eventually opened.
         """
         return replace(self, session_mode=session_mode)
+
+    def with_pipeline_mode(self, pipeline_mode: str) -> "CongestConfig":
+        """Return a copy that selects a different pipeline planning mode.
+
+        ``pipeline_mode`` must be one of :data:`PIPELINE_MODES`; anything
+        else raises ``ValueError`` here (via dataclass construction),
+        listing the allowed values.
+        """
+        return replace(self, pipeline_mode=pipeline_mode)
 
     def with_sharding(
         self,

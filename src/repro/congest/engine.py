@@ -228,6 +228,52 @@ class CongestSession:
             reuse_contexts=reuse_contexts,
         )
 
+    #: Whether per-node context state is authoritative on the worker side
+    #: *between* the executes of a composite run.  ``False`` here (and for
+    #: every in-process engine): the parent's ``network.contexts`` hold the
+    #: truth after each ``execute``, so a composite runner may restore them
+    #: from a snapshot (the pipeline artifact cache) and keep executing.
+    #: The persistent process session overrides this with ``True`` — its
+    #: workers keep their own context copies armed across executes, so a
+    #: parent-side restore would silently desynchronise them.
+    worker_state_authoritative = False
+
+    def execute_fused(
+        self,
+        protocols: Sequence[Protocol],
+        *,
+        config: Optional[CongestConfig] = None,
+        reuse_contexts: bool = True,
+    ) -> List[RunResult]:
+        """Run a fused group of protocols, returning one result per phase.
+
+        The group executes sequentially in declared order — fusion is a
+        *coordination* optimisation, never a semantic one — so this default
+        implementation is simply an :meth:`execute` loop and is trivially
+        bit-identical to unfused execution.  Sessions that pay per-phase
+        coordination costs (the persistent process session's re-arm and
+        context fold-back) override it to elide those costs within the
+        group; outputs, round counts and per-phase metrics must remain
+        bit-identical, enforced by the differential suite.
+
+        Inputs (globals, per-node state) are deliberately not accepted:
+        fused groups always run mid-pipeline on already-armed contexts
+        (``reuse_contexts=True``); a phase needing fresh inputs belongs at a
+        group boundary, executed via :meth:`execute`.
+        """
+        if self.closed:
+            raise ProtocolError("execute_fused on a closed CongestSession")
+        if not protocols:
+            return []
+        return [
+            self.execute(
+                protocol,
+                config=config,
+                reuse_contexts=reuse_contexts,
+            )
+            for protocol in protocols
+        ]
+
     def close(self) -> None:
         """Release session-held resources (idempotent)."""
         self.closed = True

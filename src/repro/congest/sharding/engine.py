@@ -282,6 +282,12 @@ class ShardingStats:
     phases:
         Per-``execute`` partials (:class:`SessionPhaseStats`), appended by
         sessions in phase order; the counters above are the session totals.
+    rearms / fused_phases:
+        Pool-wide protocol ships (one per ``arm``/``arm-seq`` that crossed
+        the pipes) and re-arms *elided* by the pipeline compiler's phase
+        fusion (``len(group) - 1`` per fused group).  Under full fusion a
+        composite's ``rearms`` stays strictly below its phase count — the
+        invariant ``tests/test_sharding.py`` pins.
     worker_failures / timeouts / retries / degradations / recovery_events:
         The fault-tolerance ledger, populated by supervised persistent
         sessions via :meth:`observe_recovery`: every observed worker
@@ -302,6 +308,8 @@ class ShardingStats:
         self.barrier_rounds = 0
         self.setup_seconds = 0.0
         self.shm_bytes = 0
+        self.rearms = 0
+        self.fused_phases = 0
         self.worker_failures = 0
         self.timeouts = 0
         self.retries = 0

@@ -304,6 +304,12 @@ class _WorkerHarness:
         #: rebuilt lazily at arm time; ``None`` whenever the armed config
         #: carries no plan — the universal production case.
         self.injector: Optional[FaultInjector] = None
+        #: Fused-group continuation: protocols still to run after the
+        #: currently armed one (``arm_sequence``), self-armed worker-side
+        #: right after each ``finish-light`` report so the next phase's
+        #: arm overlaps the coordinator's fold.
+        self._queue: List[Protocol] = []
+        self._queue_config: Optional[CongestConfig] = None
 
     # ------------------------------------------------------------------
     def arm(
@@ -432,6 +438,59 @@ class _WorkerHarness:
         traffic = (self.shard.local_messages, self.shard.remote_messages)
         return ("done", outputs, states, traffic)
 
+    # ------------------------------------------------------------------
+    def arm_sequence(
+        self,
+        protocols: Sequence[Protocol],
+        config: CongestConfig,
+        reset: bool,
+        global_inputs: Optional[Dict[str, Any]],
+        per_node_state: Optional[Dict[int, Dict[str, Any]]],
+    ) -> None:
+        """Arm a fused phase group: one ship, ``len(protocols)`` phases.
+
+        The first protocol is armed exactly like :meth:`arm`; the rest are
+        queued, and :meth:`arm_next_queued` promotes them one at a time
+        right after each ``finish-light`` report — the re-arms the
+        pipeline compiler elides never cross the pipe.
+        """
+        self._queue = list(protocols[1:])
+        self._queue_config = config
+        self.arm(protocols[0], config, reset, global_inputs, per_node_state)
+
+    def arm_next_queued(self) -> bool:
+        """Self-arm the next queued protocol of a fused group, if any.
+
+        The light re-arm replays ``_reset_for_new_protocol`` on the
+        worker-held contexts (``reset=True``), exactly what the parent's
+        ``build_contexts(fresh=False)`` would have done between unfused
+        phases — no global or per-node input deltas exist mid-group.
+        """
+        if not self._queue:
+            return False
+        protocol = self._queue.pop(0)
+        self.arm(protocol, self._queue_config, True, None, None)
+        return True
+
+    def finish_light(self, rounds: int) -> Tuple:
+        """Like :meth:`finish`, but keep the context state worker-side.
+
+        Mid-group harvest of a fused run: outputs and traffic still travel
+        (per-phase results and accounting stay bit-identical), but the
+        per-node state stays here — the next queued phase re-arms on it,
+        and only the group-final ``finish`` folds it back to the parent.
+        """
+        stepper = self.stepper
+        ctx_list = stepper.ctx_list
+        protocol = stepper.protocol
+        outputs: Dict[int, Any] = {}
+        for i in self.shard.owned:
+            ctx = ctx_list[i]
+            ctx._round = rounds
+            outputs[ctx.node_id] = protocol.collect_output(ctx)
+        traffic = (self.shard.local_messages, self.shard.remote_messages)
+        return ("done", outputs, {}, traffic)
+
 
 def _send_error(conn, exc: BaseException) -> None:
     """Ship an exception to the coordinator, degrading to text if needed."""
@@ -502,6 +561,30 @@ def _worker_main(conn, init: Dict[str, Any], inherited_peers=()) -> None:
                     if harness.injector is not None and harness.injector.fire("arm"):
                         break  # injected eof: close the pipe and exit
                     continue  # no response: the coordinator pipelines start
+                if op == "arm-seq":
+                    harness.arm_sequence(
+                        command[1], command[2], command[3], command[4], command[5]
+                    )
+                    if harness.injector is not None and harness.injector.fire("arm"):
+                        break
+                    continue  # no response, like "arm"
+                if op == "finish-light":
+                    injector = harness.injector
+                    if injector is not None and injector.fire("finish"):
+                        break
+                    response = harness.finish_light(command[1])
+                    # Report *first*, then self-arm the next queued phase:
+                    # the elided re-arm overlaps the coordinator's output
+                    # merge instead of delaying its barrier.
+                    try:
+                        conn.send(response)
+                    except (BrokenPipeError, OSError):
+                        break
+                    if harness.arm_next_queued():
+                        injector = harness.injector
+                        if injector is not None and injector.fire("arm"):
+                            break  # injected eof, same as a shipped arm
+                    continue
                 injector = harness.injector
                 if op == "start":
                     if injector is not None and injector.fire("start"):
@@ -752,6 +835,51 @@ class _WorkerPool:
                 ) from exc
 
     # ------------------------------------------------------------------
+    def rearm_sequence(
+        self,
+        protocols: Sequence[Protocol],
+        config: CongestConfig,
+        reset: bool = True,
+        global_inputs: Optional[Dict[str, Any]] = None,
+        per_shard_state: Optional[Dict[int, Dict[int, Dict[str, Any]]]] = None,
+        no_reset_shards: frozenset = frozenset(),
+    ) -> None:
+        """Arm every worker for a fused phase group in one ship.
+
+        Mirrors :meth:`rearm`, but the whole protocol sequence crosses the
+        pipe once; workers self-arm each follow-on phase after reporting
+        the previous one (``finish-light``), so the group costs one pool
+        re-arm however many phases it fuses.
+        """
+        protocols = list(protocols)
+        for handle in self.handles:
+            inputs = (
+                per_shard_state.get(handle.shard_index)
+                if per_shard_state
+                else None
+            )
+            shard_reset = reset and handle.shard_index not in no_reset_shards
+            try:
+                handle.conn.send(
+                    (
+                        "arm-seq",
+                        protocols,
+                        config,
+                        shard_reset,
+                        global_inputs,
+                        inputs,
+                    )
+                )
+            except Exception as exc:
+                if isinstance(exc, (BrokenPipeError, OSError)):
+                    _raise_buffered_error(handle.conn, handle.shard_index)
+                raise ShardWorkerError(
+                    "failed to ship the fused phase group to the shard %d "
+                    "worker: %s (process-backend protocols and per-node "
+                    "state must be picklable)" % (handle.shard_index, exc)
+                ) from exc
+
+    # ------------------------------------------------------------------
     def close(self, force: bool = False) -> None:
         """Reap every worker (idempotent).
 
@@ -806,6 +934,7 @@ class ProcessShardedRun:
         contexts: Dict[int, NodeContext],
         plan: ShardPlan,
         pool: Optional[_WorkerPool] = None,
+        fold_contexts: bool = True,
     ) -> None:
         self.network = network
         self.protocol = protocol
@@ -813,6 +942,11 @@ class ProcessShardedRun:
         self.contexts = contexts
         self.plan = plan
         self.pool = pool
+        #: ``False`` for every phase of a fused group except the last: the
+        #: harvest ships outputs and traffic only (``finish-light``); the
+        #: per-node state stays worker-side for the self-armed next phase
+        #: and is folded back by the group-final phase's full ``finish``.
+        self.fold_contexts = fold_contexts
         ids, _indptr, _indices = network.csr()
         self.ids = ids
         self.index_of = network.node_index_of
@@ -1036,8 +1170,9 @@ class ProcessShardedRun:
         # bit-identical to the phase start — the invariant that makes a
         # supervised retry's replay safe.
         merged_outputs: Dict[int, Any] = {}
+        harvest = "finish" if self.fold_contexts else "finish-light"
         for handle in handles:
-            self._send(handle, ("finish", rounds))
+            self._send(handle, (harvest, rounds))
         reports = self._collect(handles)
         for report in reports:
             _op, outputs, states, traffic = report
@@ -1103,6 +1238,12 @@ class ProcessSession(CongestSession):
     setup seconds, shm bytes) are exposed as :attr:`stats`, a
     :class:`repro.congest.sharding.engine.ShardingStats`.
     """
+
+    #: Worker-held context state is the source of truth between a fused
+    #: group's phases: the parent's contexts are only folded at group end,
+    #: so parent-side state replay (e.g. an artifact-cache restore) would
+    #: silently desync the pool.  Callers gate such replays on this flag.
+    worker_state_authoritative = True
 
     def __init__(
         self,
@@ -1416,6 +1557,7 @@ class ProcessSession(CongestSession):
                 per_shard_state=self._split_inputs(per_node_inputs),
             )
             self.last_respawned_shards = ()
+        self.stats.rearms += 1
         setup_seconds = time.perf_counter() - setup_started
 
         run = ProcessShardedRun(
@@ -1438,6 +1580,225 @@ class ProcessSession(CongestSession):
             setup_seconds,
         )
         return result
+
+    # ------------------------------------------------------------------
+    def execute_fused(
+        self,
+        protocols: Sequence[Protocol],
+        *,
+        config: Optional[CongestConfig] = None,
+        reuse_contexts: bool = True,
+    ) -> List[RunResult]:
+        """Run a fused phase group: one pool re-arm for the whole group.
+
+        The protocol sequence is shipped once (``arm-seq``); workers
+        self-arm each follow-on phase right after its predecessor's
+        ``finish-light`` report, overlapping the elided re-arm with the
+        coordinator's output merge.  Context state stays worker-side until
+        the group-final phase's full ``finish`` folds it back — so each
+        phase still runs the exact round loop, metrics and outputs it
+        would have run unfused, and a mid-group failure leaves the
+        parent's contexts bit-identical to the group start (a supervised
+        retry replays the *whole group* transactionally).
+        """
+        if self.closed:
+            raise ProtocolError("execute_fused on a closed CongestSession")
+        protocols = list(protocols)
+        if not protocols:
+            return []
+        if len(protocols) == 1:
+            return [
+                self.execute(
+                    protocols[0], config=config, reuse_contexts=reuse_contexts
+                )
+            ]
+        try:
+            return self._execute_fused(
+                protocols,
+                config if config is not None else self.config,
+                reuse_contexts,
+            )
+        except BaseException as exc:
+            self._teardown_pool(force=isinstance(exc, ShardWorkerTimeout))
+            raise
+
+    def _execute_fused(
+        self,
+        protocols: List[Protocol],
+        config: CongestConfig,
+        reuse_contexts: bool,
+    ) -> List[RunResult]:
+        self._check_config(config)
+        network = self.network
+        fingerprint = network.csr_fingerprint()
+        if fingerprint != self._fingerprint:
+            if not self._absorb_delta(fingerprint):
+                invalidate_partition_cache(network)
+                raise ProtocolError(
+                    "the network mutated during an execution session: its CSR "
+                    "fingerprint no longer matches the shard plan the session "
+                    "was opened with, and the change is not explained by "
+                    "Network.apply_delta (the partition memo has been "
+                    "invalidated; open a new session on a freshly built "
+                    "Network, or mutate through apply_delta so the session "
+                    "can repair incrementally)"
+                )
+        external = self._epoch is None or network.context_epoch != self._epoch
+        contexts = network.build_contexts(fresh=not reuse_contexts)
+
+        if self._degraded or not any(self.plan.shards):
+            return self._run_serial_group(protocols, config, contexts)
+
+        plan_faults = config.fault_plan
+        attempt = 0
+        while True:
+            attempt_config = config
+            if plan_faults is not None and plan_faults.attempt != attempt:
+                attempt_config = replace(
+                    config, fault_plan=plan_faults.for_attempt(attempt)
+                )
+            try:
+                return self._fused_on_pool(
+                    protocols, attempt_config, reuse_contexts, external, contexts
+                )
+            except ShardWorkerError as exc:
+                timed_out = isinstance(exc, ShardWorkerTimeout)
+                self._teardown_pool(force=timed_out)
+                policy = config.retry_policy
+                if policy is None:
+                    raise
+                if attempt + 1 < policy.max_attempts:
+                    action = "retry"
+                elif policy.degrade:
+                    action = "degrade"
+                else:
+                    action = "abort"
+                self.stats.observe_recovery(
+                    RecoveryEvent(
+                        phase="+".join(p.name for p in protocols),
+                        error="%s: %s" % (type(exc).__name__, exc),
+                        action=action,
+                        attempt=attempt,
+                        timed_out=timed_out,
+                    )
+                )
+                if action == "abort":
+                    raise
+                if action == "degrade":
+                    self._degraded = True
+                    if self.shared_csr is not None:
+                        shared, self.shared_csr = self.shared_csr, None
+                        shared.destroy()
+                    return self._run_serial_group(protocols, config, contexts)
+                attempt += 1
+                delay = policy.delay_before(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+
+    def _run_serial_group(
+        self,
+        protocols: List[Protocol],
+        config: CongestConfig,
+        contexts: Dict[int, NodeContext],
+    ) -> List[RunResult]:
+        """Degradation target of a fused group: phase-by-phase, serial.
+
+        The parent's contexts are bit-identical to the group start when
+        this runs (the group-final fold never happened), so replaying the
+        whole group serially is exactly the unfused composite — including
+        the ``build_contexts(fresh=False)`` reset replay between phases.
+        """
+        results: List[RunResult] = []
+        for i, protocol in enumerate(protocols):
+            if i:
+                contexts = self.network.build_contexts(fresh=False)
+            results.append(self._run_serial(protocol, config, contexts))
+        return results
+
+    def _fused_on_pool(
+        self,
+        protocols: List[Protocol],
+        config: CongestConfig,
+        reuse_contexts: bool,
+        external: bool,
+        contexts: Dict[int, NodeContext],
+    ) -> List[RunResult]:
+        """One attempt of one fused group on the (spawned or re-armed) pool.
+
+        Per-phase stats are buffered and flushed only after the group-final
+        fold: a mid-group failure then records nothing, so a retry's replay
+        cannot double-count phases that completed before the failure.
+        """
+        network = self.network
+        setup_started = time.perf_counter()
+        if self._pool is None or not reuse_contexts or external:
+            self._teardown_pool()
+            self._dirty_shards = None
+            if self.shared_csr is None:
+                self.shared_csr = SharedCSR.create(network, self.plan)
+                self.stats.shm_bytes = self.shared_csr.nbytes
+            handles = _spawn_workers(
+                self.plan,
+                self._ids,
+                network.node_index_of,
+                self._ordered,
+                contexts,
+                shared_csr=self.shared_csr,
+            )
+            self._pool = _WorkerPool(handles, config.worker_join_timeout)
+            self._pool.rearm_sequence(protocols, config, reset=False)
+            self.last_respawned_shards = tuple(
+                handle.shard_index for handle in handles
+            )
+        elif self._dirty_shards is not None:
+            dirty, self._dirty_shards = self._dirty_shards, None
+            if self.shared_csr is None:
+                self.shared_csr = SharedCSR.create(network, self.plan)
+                self.stats.shm_bytes = self.shared_csr.nbytes
+            self._respawn_shards(dirty, contexts)
+            self._pool.rearm_sequence(
+                protocols,
+                config,
+                reset=True,
+                no_reset_shards=frozenset(dirty),
+            )
+            self.last_respawned_shards = tuple(dirty)
+        else:
+            self._pool.rearm_sequence(protocols, config, reset=True)
+            self.last_respawned_shards = ()
+        self.stats.rearms += 1
+        self.stats.fused_phases += len(protocols) - 1
+        setup_seconds = time.perf_counter() - setup_started
+
+        results: List[RunResult] = []
+        phase_stats: List[Tuple] = []
+        last = len(protocols) - 1
+        for i, protocol in enumerate(protocols):
+            run = ProcessShardedRun(
+                network=network,
+                protocol=protocol,
+                config=config,
+                contexts=contexts,
+                plan=self.plan,
+                pool=self._pool,
+                fold_contexts=i == last,
+            )
+            results.append(run.run())
+            total, cross = run.traffic_totals()
+            phase_stats.append(
+                (
+                    protocol.name,
+                    total,
+                    cross,
+                    run.boundary_bytes,
+                    run.barrier_rounds,
+                    setup_seconds if i == 0 else 0.0,
+                )
+            )
+        self._epoch = network.context_epoch
+        for packed in phase_stats:
+            self.stats.observe_phase(*packed)
+        return results
 
     # ------------------------------------------------------------------
     def _absorb_delta(self, fingerprint: Tuple[int, int, int, int]) -> bool:

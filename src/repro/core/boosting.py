@@ -31,13 +31,16 @@ from __future__ import annotations
 
 import math
 import random
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
 from repro.congest.config import CongestConfig
+from repro.congest.engine import CongestSession, get_engine
 from repro.congest.metrics import RunMetrics
+from repro.congest.network import Network
 from repro.core import near_clique
 from repro.core.dist_near_clique import DistNearCliqueRunner
 from repro.core.params import AlgorithmParameters
@@ -129,15 +132,29 @@ class BoostedNearCliqueRunner:
         #: configuration's engine field.
         self.congest_config = congest_config
         self.rng = rng or random.Random()
-        #: Per-version session accounting from the last :meth:`run` —
-        #: one entry per distributed version, each a
-        #: :class:`repro.congest.sharding.ShardingStats` or ``None`` (the
-        #: centralized engine and per-call sessions record nothing).
+        #: Session accounting from the last :meth:`run`.  All distributed
+        #: versions share **one** network and one execution session, so a
+        #: stats-collecting session (persistent sharded modes) contributes
+        #: a single :class:`repro.congest.sharding.ShardingStats` entry
+        #: whose counters span every version; the centralized engine and
+        #: per-call sessions record nothing (empty list).
         self.session_stats_by_version: List[Optional[object]] = []
 
     # ------------------------------------------------------------------
     def run(self, graph: nx.Graph) -> NearCliqueResult:
-        """Execute λ versions plus the combined decision stage."""
+        """Execute λ versions plus the combined decision stage.
+
+        The ``"distributed"`` variant is **session-aware**: one
+        :class:`~repro.congest.network.Network` and one execution session
+        span all λ versions.  Each version reseeds the network from its own
+        RNG stream (``Network.reseed`` reproduces exactly the per-node
+        seeds of a from-scratch build, so the boosted outputs are
+        bit-identical to λ independent networks), and on the persistent
+        process backend the λ × ~14 phases share one worker pool and one
+        shared-memory CSR mapping instead of respawning them per version.
+        The shared session's accounting appears **once** in
+        :attr:`session_stats_by_version` (its counters span all versions).
+        """
         adjacency = near_clique.adjacency_sets(graph)
         metrics = RunMetrics()
         self.session_stats_by_version = []
@@ -145,15 +162,34 @@ class BoostedNearCliqueRunner:
         samples: List[FrozenSet[int]] = []
         components: List[FrozenSet[int]] = []
 
-        for version in range(self.repetitions):
-            candidates, sample, comps, version_metrics = self._run_version(
-                graph, adjacency, version
+        network: Optional[Network] = None
+        session: Optional[CongestSession] = None
+        config: Optional[CongestConfig] = None
+        stack = ExitStack()
+        if self.engine == "distributed":
+            network = Network(graph)
+            config = self.congest_config or CongestConfig().with_log_budget(
+                network.n
             )
-            version_candidates.extend(candidates)
-            samples.append(sample)
-            components.extend(comps)
-            if version_metrics is not None:
-                metrics.merge(version_metrics, label="version-%d" % version)
+            if self.congest_engine is not None:
+                config = config.with_engine(self.congest_engine)
+            engine_obj = get_engine(config.engine)
+            session = stack.enter_context(
+                engine_obj.open_session(network, config)
+            )
+            if session.stats is not None:
+                self.session_stats_by_version.append(session.stats)
+
+        with stack:
+            for version in range(self.repetitions):
+                candidates, sample, comps, version_metrics = self._run_version(
+                    graph, adjacency, version, network, session, config
+                )
+                version_candidates.extend(candidates)
+                samples.append(sample)
+                components.extend(comps)
+                if version_metrics is not None:
+                    metrics.merge(version_metrics, label="version-%d" % version)
 
         survived = self._combined_decision(version_candidates)
 
@@ -196,18 +232,25 @@ class BoostedNearCliqueRunner:
         graph: nx.Graph,
         adjacency,
         version: int,
+        network: Optional[Network] = None,
+        session: Optional[CongestSession] = None,
+        config: Optional[CongestConfig] = None,
     ) -> Tuple[List[_VersionCandidate], FrozenSet[int], List[FrozenSet[int]], Optional[RunMetrics]]:
         """One sampling + exploration run (no per-version decision)."""
         params = self.parameters
         if self.engine == "distributed":
+            # Distinct per-version RNG stream, drawn exactly as the
+            # one-network-per-version wrapper would have: the version
+            # runner's rng seeds first the network (here via reseed on the
+            # shared network) and then the per-node coins.
+            vrng = random.Random(self.rng.getrandbits(48))
+            network.reseed(vrng.getrandbits(48))
             runner = DistNearCliqueRunner(
                 parameters=params,
-                rng=random.Random(self.rng.getrandbits(48)),
-                config=self.congest_config,
-                engine=self.congest_engine,
+                rng=vrng,
+                config=config,
             )
-            result = runner.run(graph)
-            self.session_stats_by_version.append(runner.last_session_stats)
+            result = runner.run(network=network, session=session)
             if result.aborted:
                 return [], result.sample, [], result.metrics
             candidates = [

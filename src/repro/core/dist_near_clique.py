@@ -37,6 +37,15 @@ from repro.congest.errors import RoundLimitExceeded
 from repro.congest.metrics import RunMetrics
 from repro.congest.network import Network
 from repro.congest.node import Protocol
+from repro.congest.pipeline import (
+    ArtifactCache,
+    CachedPrefix,
+    PhaseEffects,
+    PipelinePlan,
+    compile_pipeline,
+    restore_contexts,
+    snapshot_contexts,
+)
 from repro.congest.scheduler import run_protocol
 from repro.core import phases
 from repro.core.params import AlgorithmParameters
@@ -44,6 +53,7 @@ from repro.core.result import CandidateSet, NearCliqueResult
 from repro.core import near_clique
 from repro.primitives.bfs_tree import (
     KEY_PARENT,
+    KEY_PARTICIPANT,
     KEY_ROOT,
     MinIdBFSTreeProtocol,
     ParentNotificationProtocol,
@@ -92,7 +102,41 @@ class DistNearCliqueRunner:
     :attr:`last_session_stats` holds the session's accounting (a
     :class:`repro.congest.sharding.ShardingStats` with per-phase partials
     for persistent sharded sessions, ``None`` otherwise).
+
+    The exploration + decision stages are executed through the **pipeline
+    compiler** (:mod:`repro.congest.pipeline`): the phase sequence's
+    declared effects are validated once per runner and compiled into a
+    :class:`~repro.congest.pipeline.PipelinePlan`.  With the default
+    ``CongestConfig.pipeline_mode == "off"`` every phase is its own group
+    and execution is exactly the historical per-phase loop; with
+    ``"fuse"`` maximal runs of declared phases execute through one
+    ``session.execute_fused`` call — one worker re-arm and one context
+    fold-back per *group* on the persistent process backend, bit-identical
+    outputs, rounds and per-phase metrics either way.  The compiled plan of
+    the last :meth:`run` is exposed as :attr:`last_pipeline_plan`.
+
+    Passing an :class:`~repro.congest.pipeline.ArtifactCache` as
+    *artifact_cache* additionally caches the tree-building prefix (BFS
+    tree + parent notification) keyed by the CSR fingerprint, the realised
+    sample and the global inputs: a repeat run on the same network and
+    sample replays the recorded context snapshot and per-phase metrics
+    instead of rebuilding the tree.  The cache is skipped (and its
+    ``skips`` counter bumped) on sessions whose worker-side state is
+    authoritative between phases — the persistent process backend — where
+    a parent-side restore would desync the pool.
     """
+
+    #: Phases of :meth:`_phase_sequence` covered by the artifact cache: the
+    #: BFS tree build and the parent notification, which depend only on the
+    #: topology and the realised sample.
+    _CACHE_PREFIX_LEN = 2
+
+    #: Context keys written before the exploration stage starts (sampling
+    #: outputs and forced-sample inputs) — the compiled plan's external
+    #: inputs.
+    _EXTERNAL_READS = frozenset(
+        {KEY_PARTICIPANT, phases.KEY_IN_SAMPLE, phases.KEY_FORCED_SAMPLE}
+    )
 
     def __init__(
         self,
@@ -107,6 +151,7 @@ class DistNearCliqueRunner:
         rng: Optional[random.Random] = None,
         config: Optional[CongestConfig] = None,
         engine: Union[None, str, Engine] = None,
+        artifact_cache: Optional[ArtifactCache] = None,
     ) -> None:
         if parameters is None:
             if epsilon is None or sample_probability is None:
@@ -126,9 +171,17 @@ class DistNearCliqueRunner:
         self.rng = rng or random.Random()
         self.config = config
         self.engine = engine
+        self.artifact_cache = artifact_cache
         #: Accounting of the execution session the last :meth:`run` opened
         #: (``None`` for engines that collect none — every per-call session).
         self.last_session_stats = None
+        #: The :class:`~repro.congest.pipeline.PipelinePlan` the last
+        #: :meth:`run` executed (``None`` before the first run).
+        self.last_pipeline_plan: Optional[PipelinePlan] = None
+        #: Compiled plans memoised per (mode, cache-active) — the phase
+        #: sequence is static, so validation and planning run once per
+        #: runner, not once per run.
+        self._plan_cache: Dict[Tuple[str, bool], Tuple[Tuple[Protocol, ...], PipelinePlan]] = {}
 
     # ------------------------------------------------------------------
     def run(
@@ -249,24 +302,135 @@ class DistNearCliqueRunner:
                 )
 
             # --- exploration + decision stages ------------------------------
-            phase_sequence = self._phase_sequence()
+            cache = self.artifact_cache
+            use_cache = cache is not None and not getattr(
+                session, "worker_state_authoritative", False
+            )
+            if cache is not None and not use_cache:
+                cache.skips += 1
+            prefix, plan = self._compiled_plan(config.pipeline_mode, use_cache)
+            self.last_pipeline_plan = plan
 
             try:
-                for phase in phase_sequence:
-                    phase_result = run_protocol(
+                if use_cache:
+                    self._run_cached_prefix(
                         network,
-                        phase,
-                        config=config,
-                        reuse_contexts=True,
-                        session=session,
+                        prefix,
+                        cache,
+                        sample_ids,
+                        global_inputs,
+                        config,
+                        session,
+                        metrics,
                     )
-                    metrics.merge(phase_result.metrics, label=phase.name)
+                for group in plan.groups:
+                    if group.fused:
+                        group_results = session.execute_fused(
+                            list(group.protocols),
+                            config=config,
+                            reuse_contexts=True,
+                        )
+                        for phase, phase_result in zip(
+                            group.protocols, group_results
+                        ):
+                            metrics.merge(phase_result.metrics, label=phase.name)
+                    else:
+                        phase = group.protocols[0]
+                        phase_result = run_protocol(
+                            network,
+                            phase,
+                            config=config,
+                            reuse_contexts=True,
+                            session=session,
+                        )
+                        metrics.merge(phase_result.metrics, label=phase.name)
             except RoundLimitExceeded as exc:
                 return self._aborted_result(
                     network, sample_ids, metrics, "round limit exceeded: %s" % exc
                 )
 
         return self._harvest(network, sample_ids, metrics)
+
+    # ------------------------------------------------------------------
+    def _compiled_plan(
+        self, mode: str, use_cache: bool
+    ) -> Tuple[Tuple[Protocol, ...], PipelinePlan]:
+        """Compile (once per runner) the exploration/decision plan.
+
+        With the artifact cache active the tree-building prefix is carved
+        off and executed through the cache; its writes and produced
+        artifacts then count as external inputs of the suffix plan.
+        """
+        key = (mode, use_cache)
+        memo = self._plan_cache.get(key)
+        if memo is not None:
+            return memo
+        sequence = self._phase_sequence()
+        prefix_len = self._CACHE_PREFIX_LEN if use_cache else 0
+        prefix = tuple(sequence[:prefix_len])
+        external_reads = set(self._EXTERNAL_READS)
+        external_artifacts: List[str] = []
+        for protocol in prefix:
+            declared = protocol.effects()
+            external_reads |= declared.writes
+            external_artifacts.extend(declared.produces)
+        plan = compile_pipeline(
+            sequence[prefix_len:],
+            mode=mode,
+            external_reads=external_reads,
+            external_artifacts=external_artifacts,
+        )
+        memo = (prefix, plan)
+        self._plan_cache[key] = memo
+        return memo
+
+    def _run_cached_prefix(
+        self,
+        network: Network,
+        prefix: Tuple[Protocol, ...],
+        cache: ArtifactCache,
+        sample_ids: Set[int],
+        global_inputs: Dict[str, object],
+        config: CongestConfig,
+        session: "CongestSession",
+        metrics: RunMetrics,
+    ) -> None:
+        """Run the tree-building prefix through the artifact cache.
+
+        A hit restores the recorded post-prefix context snapshot and merges
+        the recorded per-phase metrics — bit-identical to rebuilding,
+        including message accounting.  A miss runs the prefix normally and
+        records it.
+        """
+        key = (
+            network.csr_fingerprint(),
+            frozenset(sample_ids),
+            tuple(sorted(global_inputs.items())),
+        )
+        ordered = [network.contexts[i] for i in sorted(network.contexts)]
+        entry = cache.lookup(key)
+        if entry is not None:
+            restore_contexts(ordered, entry.frames)
+            for label, _outputs, phase_metrics in entry.phase_results:
+                metrics.merge(phase_metrics, label=label)
+            return
+        recorded: List[Tuple[str, object, object]] = []
+        for phase in prefix:
+            phase_result = run_protocol(
+                network,
+                phase,
+                config=config,
+                reuse_contexts=True,
+                session=session,
+            )
+            metrics.merge(phase_result.metrics, label=phase.name)
+            recorded.append((phase.name, phase_result.outputs, phase_result.metrics))
+        cache.store(
+            key,
+            CachedPrefix(
+                frames=snapshot_contexts(ordered), phase_results=recorded
+            ),
+        )
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -290,6 +454,12 @@ class DistNearCliqueRunner:
                 items_fn=phases.k_size_items,
                 store_fn=phases.store_k_size,
                 label="nc-k-size-broadcast",
+                # k_size_items / store_k_size touch the root-size and
+                # per-node size tables beyond the base phase's footprint.
+                extra_effects=PhaseEffects(
+                    reads=(phases.KEY_K_ROOT_SIZES, phases.KEY_K_SIZES),
+                    writes=(phases.KEY_K_SIZES,),
+                ),
             ),
             phases.KAnnouncePhase(),
             phases.UpAggregationPhase(
@@ -298,11 +468,31 @@ class DistNearCliqueRunner:
                 pre_start=phases.build_t_membership,
                 root_finalize=phases.select_best_subset,
                 label="nc-t-aggregation",
+                # build_t_membership derives T_ε(X) from the K-tables and
+                # the announcer sets; select_best_subset picks the best
+                # subset from the component membership at each root.
+                extra_effects=PhaseEffects(
+                    reads=(
+                        phases.KEY_K_MEMBERSHIP,
+                        phases.KEY_K_NEIGHBOR_ANNOUNCERS,
+                        phases.KEY_COMP_MEMBERS,
+                    ),
+                    writes=(phases.KEY_T_MEMBERSHIP, phases.KEY_BEST),
+                    globals_read=(
+                        phases.GLOBAL_EPSILON,
+                        phases.GLOBAL_STEP4F_SAMPLING,
+                        phases.GLOBAL_STEP4F_SAMPLE_SIZE,
+                    ),
+                ),
             ),
             phases.DownBroadcastPhase(
                 items_fn=phases.best_items,
                 store_fn=phases.store_best,
                 label="nc-best-broadcast",
+                extra_effects=PhaseEffects(
+                    reads=(phases.KEY_BEST, phases.KEY_BEST_KNOWN),
+                    writes=(phases.KEY_BEST_KNOWN,),
+                ),
             ),
             phases.VotePhase(),
             phases.FinalLabelPhase(),

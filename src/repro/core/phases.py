@@ -64,6 +64,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.congest.message import Inbound, Message, id_bits_for, KIND_TAG_BITS
 from repro.congest.node import NodeContext, Protocol
+from repro.congest.pipeline import (
+    ARTIFACT_BFS_TREE,
+    ARTIFACT_COMPONENT_MAP,
+    ARTIFACT_TREE_CHILDREN,
+    PhaseEffects,
+)
 from repro.congest.vectorized import KernelFrame, VectorizedKernel
 from repro.core import near_clique
 from repro.primitives.bfs_tree import (
@@ -172,6 +178,14 @@ class SamplingPhase(Protocol):
     name = "nc-sampling"
     quiesce_terminates = True
 
+    def effects(self) -> PhaseEffects:
+        return PhaseEffects(
+            reads=(KEY_FORCED_SAMPLE, KEY_IN_SAMPLE),
+            writes=(KEY_IN_SAMPLE, KEY_PARTICIPANT),
+            globals_read=(GLOBAL_SAMPLE_PROBABILITY,),
+            writes_output=True,
+        )
+
     def on_start(self, ctx: NodeContext) -> None:
         forced = ctx.state.get(KEY_FORCED_SAMPLE)
         if forced is None:
@@ -234,6 +248,19 @@ class CompDisseminationPhase(Protocol):
 
     name = "nc-comp-dissemination"
     quiesce_terminates = True
+
+    def effects(self) -> PhaseEffects:
+        return PhaseEffects(
+            reads=(
+                KEY_IN_SAMPLE,
+                KEY_COMP_BCAST,
+                KEY_ROOT,
+                KEY_ADJ_COMPONENTS,
+                Outbox.STATE_KEY,
+            ),
+            writes=(KEY_COMP_MEMBERS, KEY_ADJ_COMPONENTS, Outbox.STATE_KEY),
+            consumes=(ARTIFACT_COMPONENT_MAP,),
+        )
 
     def on_start(self, ctx: NodeContext) -> None:
         if _in_sample(ctx):
@@ -356,6 +383,26 @@ class LocalSubsetPhase(Protocol):
     name = "nc-local-subsets"
     quiesce_terminates = True
 
+    def effects(self) -> PhaseEffects:
+        return PhaseEffects(
+            reads=(
+                KEY_IN_SAMPLE,
+                KEY_COMP_MEMBERS,
+                KEY_ROOT,
+                KEY_ADJ_COMPONENTS,
+                KEY_ATTACHED_LEAVES,
+                Outbox.STATE_KEY,
+            ),
+            writes=(
+                KEY_ATTACHED_LEAVES,
+                KEY_ADJ_MEMBERS,
+                KEY_ATTACH_PARENT,
+                KEY_K_MEMBERSHIP,
+                Outbox.STATE_KEY,
+            ),
+            globals_read=(GLOBAL_EPSILON,),
+        )
+
     def on_start(self, ctx: NodeContext) -> None:
         eps = _epsilon(ctx)
         inner_eps = 2.0 * eps * eps
@@ -428,17 +475,46 @@ class UpAggregationPhase(Protocol):
         pre_start: Optional[Callable[[NodeContext], None]] = None,
         root_finalize: Optional[Callable[[NodeContext, Dict[int, int]], None]] = None,
         label: str = "nc-up-aggregation",
+        extra_effects: Optional[PhaseEffects] = None,
     ) -> None:
         self.membership_key = membership_key
         self.result_key = result_key
         self.pre_start = pre_start
         self.root_finalize = root_finalize
         self.name = label
+        self.extra_effects = extra_effects
 
     # local state keys (per phase instance we prefix with the result key so
     # that successive aggregations do not trample each other's bookkeeping)
     def _key(self, suffix: str) -> str:
         return "%s.%s" % (self.result_key, suffix)
+
+    def effects(self) -> PhaseEffects:
+        # ``extra_effects`` covers the injected ``pre_start`` /
+        # ``root_finalize`` callables, whose footprint the class cannot know.
+        return PhaseEffects(
+            reads=(
+                KEY_IN_SAMPLE,
+                KEY_ROOT,
+                KEY_PARENT,
+                KEY_CHILDREN,
+                KEY_ATTACHED_LEAVES,
+                KEY_ATTACH_PARENT,
+                self.membership_key,
+                self._key("counters"),
+                self._key("waiting"),
+                self._key("flushed"),
+                Outbox.STATE_KEY,
+            ),
+            writes=(
+                self.result_key,
+                self._key("counters"),
+                self._key("waiting"),
+                self._key("flushed"),
+                Outbox.STATE_KEY,
+            ),
+            consumes=(ARTIFACT_BFS_TREE, ARTIFACT_TREE_CHILDREN),
+        ).merged(self.extra_effects)
 
     def on_start(self, ctx: NodeContext) -> None:
         if self.pre_start is not None and (
@@ -521,10 +597,29 @@ class DownBroadcastPhase(Protocol):
         items_fn: Callable[[NodeContext], List[Tuple[int, ...]]],
         store_fn: Callable[[NodeContext, int, Tuple[int, ...]], None],
         label: str = "nc-down-broadcast",
+        extra_effects: Optional[PhaseEffects] = None,
     ) -> None:
         self.items_fn = items_fn
         self.store_fn = store_fn
         self.name = label
+        self.extra_effects = extra_effects
+
+    def effects(self) -> PhaseEffects:
+        # ``extra_effects`` covers the injected ``items_fn`` / ``store_fn``
+        # callables, whose footprint the class cannot know.
+        return PhaseEffects(
+            reads=(
+                KEY_IN_SAMPLE,
+                KEY_ROOT,
+                KEY_PARENT,
+                KEY_CHILDREN,
+                KEY_ATTACHED_LEAVES,
+                KEY_ATTACH_PARENT,
+                Outbox.STATE_KEY,
+            ),
+            writes=(Outbox.STATE_KEY,),
+            consumes=(ARTIFACT_BFS_TREE, ARTIFACT_TREE_CHILDREN),
+        ).merged(self.extra_effects)
 
     def _forward(self, ctx: NodeContext, root: int, item: Tuple[int, ...]) -> None:
         outbox = Outbox.for_ctx(ctx)
@@ -571,6 +666,12 @@ class KAnnouncePhase(Protocol):
 
     name = "nc-k-announce"
     quiesce_terminates = True
+
+    def effects(self) -> PhaseEffects:
+        return PhaseEffects(
+            reads=(KEY_K_MEMBERSHIP, KEY_K_SIZES, Outbox.STATE_KEY),
+            writes=(KEY_K_NEIGHBOR_ANNOUNCERS, Outbox.STATE_KEY),
+        )
 
     def on_start(self, ctx: NodeContext) -> None:
         memberships: Dict[int, Set[int]] = ctx.state.get(KEY_K_MEMBERSHIP, {})
@@ -761,6 +862,30 @@ class VotePhase(Protocol):
     name = "nc-vote"
     quiesce_terminates = True
 
+    def effects(self) -> PhaseEffects:
+        return PhaseEffects(
+            reads=(
+                KEY_IN_SAMPLE,
+                KEY_BEST_KNOWN,
+                KEY_PARENT,
+                KEY_CHILDREN,
+                KEY_ATTACHED_LEAVES,
+                KEY_ATTACH_PARENT,
+                "_vote_waiting",
+                "_vote_abort",
+                "_vote_flushed",
+                Outbox.STATE_KEY,
+            ),
+            writes=(
+                KEY_ABORT_SEEN,
+                "_vote_waiting",
+                "_vote_abort",
+                "_vote_flushed",
+                Outbox.STATE_KEY,
+            ),
+            consumes=(ARTIFACT_BFS_TREE, ARTIFACT_TREE_CHILDREN),
+        )
+
     def on_start(self, ctx: NodeContext) -> None:
         best_known: Dict[int, Tuple[int, int]] = ctx.state.get(KEY_BEST_KNOWN, {})
         outbox = Outbox.for_ctx(ctx)
@@ -836,6 +961,16 @@ class FinalLabelPhase(DownBroadcastPhase):
     def __init__(self) -> None:
         super().__init__(
             items_fn=self._items, store_fn=self._store, label="nc-final-labels"
+        )
+
+    def effects(self) -> PhaseEffects:
+        return super().effects().merged(
+            PhaseEffects(
+                reads=(KEY_BEST, KEY_ABORT_SEEN, KEY_T_MEMBERSHIP),
+                writes=(KEY_SURVIVED,),
+                globals_read=(GLOBAL_MIN_OUTPUT_SIZE,),
+                writes_output=True,
+            )
         )
 
     @staticmethod

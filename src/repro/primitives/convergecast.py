@@ -29,6 +29,12 @@ from typing import Dict, List, Optional
 
 from repro.congest.message import Inbound, Message, id_bits_for, KIND_TAG_BITS
 from repro.congest.node import NodeContext, Protocol
+from repro.congest.pipeline import (
+    ARTIFACT_BFS_TREE,
+    ARTIFACT_COMPONENT_MAP,
+    ARTIFACT_TREE_CHILDREN,
+    PhaseEffects,
+)
 from repro.primitives.bfs_tree import (
     KEY_CHILDREN,
     KEY_PARENT,
@@ -81,6 +87,29 @@ class ConvergecastCollectProtocol(Protocol):
 
     def _participates(self, ctx: NodeContext) -> bool:
         return bool(ctx.state.get(self.participant_key))
+
+    def effects(self) -> PhaseEffects:
+        return PhaseEffects(
+            reads=(
+                self.participant_key,
+                KEY_PARENT,
+                KEY_CHILDREN,
+                KEY_COLLECTED,
+                "_cc_waiting_children",
+                "_cc_seen",
+                "_cc_done_sent",
+                Outbox.STATE_KEY,
+            ),
+            writes=(
+                KEY_COLLECTED,
+                "_cc_waiting_children",
+                "_cc_seen",
+                "_cc_done_sent",
+                Outbox.STATE_KEY,
+            ),
+            consumes=(ARTIFACT_BFS_TREE, ARTIFACT_TREE_CHILDREN),
+            produces=(ARTIFACT_COMPONENT_MAP,),
+        )
 
     def on_start(self, ctx: NodeContext) -> None:
         if not self._participates(ctx):
@@ -155,6 +184,29 @@ class ConvergecastSumProtocol(Protocol):
 
     def _participates(self, ctx: NodeContext) -> bool:
         return bool(ctx.state.get(self.participant_key))
+
+    def effects(self) -> PhaseEffects:
+        return PhaseEffects(
+            reads=(
+                self.participant_key,
+                self.counters_key,
+                self.sums_key,
+                KEY_PARENT,
+                KEY_CHILDREN,
+                "_cs_sums",
+                "_cs_waiting",
+                "_cs_flushed",
+                Outbox.STATE_KEY,
+            ),
+            writes=(
+                self.sums_key,
+                "_cs_sums",
+                "_cs_waiting",
+                "_cs_flushed",
+                Outbox.STATE_KEY,
+            ),
+            consumes=(ARTIFACT_BFS_TREE, ARTIFACT_TREE_CHILDREN),
+        )
 
     def on_start(self, ctx: NodeContext) -> None:
         if not self._participates(ctx):

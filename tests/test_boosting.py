@@ -142,3 +142,73 @@ class TestBoostedRunner:
         # should recover most of the planted set with 3 repetitions.
         assert central.recall_of(planted.members) >= 0.6
         assert distributed.recall_of(planted.members) >= 0.6
+
+
+class TestSessionAwareBoosting:
+    """The distributed wrapper runs all λ versions through one network and
+    one execution session (per-version RNG streams via ``Network.reseed``),
+    so results must be engine-independent and the shared session's
+    accounting must span every version."""
+
+    def _run(self, graph, config=None, seed=7):
+        return BoostedNearCliqueRunner(
+            epsilon=0.2,
+            sample_probability=0.08,
+            repetitions=3,
+            engine="distributed",
+            congest_config=config,
+            rng=random.Random(seed),
+        ).run(graph)
+
+    def _fingerprint(self, result):
+        return (
+            result.labels,
+            result.sample,
+            [(c.component_root, c.subset_index, c.members, c.survived)
+             for c in result.candidates],
+            result.metrics.rounds,
+            result.metrics.total_messages,
+        )
+
+    def test_shared_session_identical_across_backends(self, planted_workload):
+        from repro.congest.config import CongestConfig
+
+        graph, _ = planted_workload
+        n = graph.number_of_nodes()
+        baseline = self._fingerprint(self._run(graph))
+        for config in (
+            CongestConfig(engine="batched").with_log_budget(n),
+            CongestConfig(
+                engine="sharded",
+                shards=2,
+                shard_backend="process",
+                session_mode="persistent",
+                pipeline_mode="fuse",
+            ).with_log_budget(n),
+        ):
+            assert self._fingerprint(self._run(graph, config)) == baseline
+
+    def test_shared_session_stats_span_all_versions(self, planted_workload):
+        from repro.congest.config import CongestConfig
+
+        graph, _ = planted_workload
+        config = CongestConfig(
+            engine="sharded",
+            shards=2,
+            shard_backend="process",
+            session_mode="persistent",
+        ).with_log_budget(graph.number_of_nodes())
+        runner = BoostedNearCliqueRunner(
+            epsilon=0.2,
+            sample_probability=0.08,
+            repetitions=3,
+            engine="distributed",
+            congest_config=config,
+            rng=random.Random(7),
+        )
+        runner.run(graph)
+        # One shared session -> exactly one stats entry, whose phase count
+        # covers all three versions' composite pipelines.
+        assert len(runner.session_stats_by_version) == 1
+        (stats,) = runner.session_stats_by_version
+        assert len(stats.phases) > 14

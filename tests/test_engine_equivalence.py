@@ -638,6 +638,52 @@ class TestSessionMode:
             "runner diverged in session mode under %r (%r)" % (engine, fields)
         )
 
+    @pytest.mark.parametrize("engine,fields", SESSION_BACKENDS)
+    def test_full_runner_identical_with_fused_pipeline_session(
+        self, engine, fields
+    ):
+        # ``pipeline_mode="fuse"`` compiles the composite into fused groups
+        # (``execute_fused``; on the process backend one arm-seq plus a
+        # finish-light chain per group, context fold-back only at the group
+        # boundary).  Fusion elides coordination, never semantics: outputs,
+        # rounds and the full per-round trace must stay bit-identical to
+        # the reference engine with the pipeline off.
+        graph, _ = generators.planted_near_clique(
+            n=60, clique_fraction=0.5, epsilon=0.008, background_p=0.05, seed=3
+        )
+        results = {}
+        for name, config in (
+            ("reference", CongestConfig(engine="reference")),
+            (
+                "candidate",
+                CongestConfig(
+                    engine=engine,
+                    session_mode="persistent",
+                    pipeline_mode="fuse",
+                    **fields,
+                ),
+            ),
+        ):
+            runner = DistNearCliqueRunner(
+                epsilon=0.25,
+                sample_probability=0.1,
+                rng=random.Random(1003),
+                config=config.with_log_budget(graph.number_of_nodes()),
+            )
+            result = runner.run(graph)
+            results[name] = (
+                result.labels,
+                result.sample,
+                result.metrics.rounds,
+                result.metrics.total_messages,
+                result.metrics.total_bits,
+                _trace(result.metrics),
+            )
+        assert results["candidate"] == results["reference"], (
+            "runner diverged with the fused pipeline under %r (%r)"
+            % (engine, fields)
+        )
+
     def test_session_light_rearm_inputs_identical_process(self):
         # Inputs passed *through* session.execute on reuse executes travel
         # the light re-arm path (globals + per-node state deltas over the

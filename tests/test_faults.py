@@ -432,6 +432,71 @@ class TestSupervisedRetry:
         assert actions == ["retry", "degrade"]
         _assert_no_worker_processes()
 
+    def test_fused_group_crash_replays_transactionally_bit_identically(self):
+        # ``pipeline_mode="fuse"``: per-phase context fold-backs inside a
+        # fused group are elided, so the *group* is the transaction unit —
+        # a crash in a mid-group phase must replay the whole group from
+        # the pristine group-start contexts and still match the reference
+        # engine bit for bit.
+        graph = self._graph()
+        oracle = _reference_fingerprint(graph, self.N)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    point="round",
+                    kind="crash",
+                    shard=1,
+                    phase="nc-vote",
+                    round_index=1,
+                ),
+            )
+        )
+        config = dataclasses.replace(
+            _faulty_config(self.N, plan, retry=RetryPolicy(max_attempts=2)),
+            pipeline_mode="fuse",
+        )
+        result, stats = _run_pipeline(graph, config)
+        assert _fingerprint(result) == oracle
+        assert stats.retries == 1
+        assert stats.degradations == 0
+        (event,) = [e for e in stats.recovery_events if e.action == "retry"]
+        # The recovery event names the fused group, not a single phase.
+        assert "+" in event.phase and "nc-vote" in event.phase
+        # Fusion accounting survives recovery, and phase metrics are not
+        # double-counted by the replay (partials are flushed only after
+        # the group-final fold).
+        assert stats.fused_phases > 0
+        labels = [phase.label for phase in stats.phases]
+        assert len(labels) == len(set(labels))
+        _assert_no_worker_processes()
+
+    def test_fused_group_persistent_failure_degrades_bit_identically(self):
+        graph = self._graph()
+        oracle = _reference_fingerprint(graph, self.N)
+        specs = tuple(
+            FaultSpec(
+                point="round",
+                kind="crash",
+                shard=1,
+                phase="nc-vote",
+                round_index=1,
+                attempt=attempt,
+            )
+            for attempt in (0, 1)
+        )
+        config = dataclasses.replace(
+            _faulty_config(
+                self.N, FaultPlan(specs=specs), retry=RetryPolicy(max_attempts=2)
+            ),
+            pipeline_mode="fuse",
+        )
+        result, stats = _run_pipeline(graph, config)
+        assert _fingerprint(result) == oracle
+        assert stats.degradations == 1
+        actions = [event.action for event in stats.recovery_events]
+        assert actions == ["retry", "degrade"]
+        _assert_no_worker_processes()
+
     def test_no_policy_means_failures_propagate(self):
         graph = self._graph()
         plan = FaultPlan(

@@ -1208,6 +1208,57 @@ class TestShardingStatsAccounting:
         _assert_no_worker_processes()
 
 
+class TestPipelineFusionSession:
+    """``pipeline_mode="fuse"`` on a persistent process session.
+
+    Bit-identity of fused *results* lives in the differential suite; this
+    class pins the coordination claim itself: the composite runner ships
+    whole fused groups (one ``arm-seq``, workers self-arm between phases),
+    so the session's pool re-arms stay strictly below the phases executed.
+    Test names carry ``session`` so CI's session job selects them.
+    """
+
+    def test_session_fused_composite_elides_rearms(self):
+        from repro.core.dist_near_clique import DistNearCliqueRunner
+
+        graph = nx.connected_caveman_graph(2, 8)
+        config = CongestConfig(
+            engine="sharded",
+            shards=2,
+            shard_backend="process",
+            session_mode="persistent",
+            pipeline_mode="fuse",
+        )
+        runner = DistNearCliqueRunner(
+            epsilon=0.25,
+            sample_probability=0.05,
+            max_sample_size=None,
+            rng=random.Random(3),
+            config=config,
+        )
+        result = runner.run(graph, sample=(0, 1, 9))
+        assert not result.aborted
+
+        stats = runner.last_session_stats
+        phases_executed = len(stats.phases)
+        # The satellite invariant: strictly fewer pool re-arms than phases.
+        assert stats.rearms < phases_executed
+        # And the exact plan shape: the sampling phase plus one arm-seq
+        # covering the entire fused exploration+decision suffix.
+        assert stats.rearms == 2
+        assert stats.fused_phases == phases_executed - stats.rearms
+        plan = runner.last_pipeline_plan
+        assert plan is not None
+        assert plan.fused_phase_count == stats.fused_phases
+        assert any(group.fused for group in plan.groups)
+        # Per-phase accounting survives fusion: every phase label is still
+        # observed, and totals equal the sum of the partials.
+        assert stats.protocol_messages == sum(
+            phase.protocol_messages for phase in stats.phases
+        )
+        _assert_no_worker_processes()
+
+
 class TestSessionModeConstructionValidation:
     """``session_mode`` typos fail at config construction (satellite fix)."""
 
